@@ -1,0 +1,35 @@
+//! C1 — §5.1's complexity claim: "Deciding type equality is equivalent to
+//! the quantifier free theory of equality with uninterpreted function
+//! symbols, for which there is an efficient O(n log n) time algorithm"
+//! (Nelson–Oppen, cited as [41]).
+//!
+//! We compare the optimized union-find-based congruence closure against
+//! the naive O(n²)-per-sweep fixpoint baseline on growing equality chains.
+//! Expected shape: the optimized closure grows near-linearly; the naive
+//! closure grows super-quadratically and falls hopelessly behind well
+//! before n = 256.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_congruence_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("congruence_scaling");
+    for size in [16usize, 64, 256, 1024, 4096] {
+        group.bench_with_input(
+            BenchmarkId::new("nelson_oppen", size),
+            &size,
+            |b, &size| b.iter(|| black_box(bench::congruence_chain(black_box(size), false))),
+        );
+        // The naive baseline is O(n³)-ish on this workload; cap its sizes
+        // so the suite finishes.
+        if size <= 256 {
+            group.bench_with_input(BenchmarkId::new("naive_baseline", size), &size, |b, &size| {
+                b.iter(|| black_box(bench::congruence_chain(black_box(size), true)))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_congruence_scaling);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! C2 — the runtime cost of the dictionary-passing translation.
+//!
+//! The paper's translation passes models as tuples and projects members
+//! with `nth` chains; a C++-style implementation would instead specialize
+//! (monomorphize) the generic function. We evaluate Figure 5's
+//! `accumulate[int]` (translated, dictionary-passing) against a
+//! hand-monomorphized System F `sum` on the same evaluator, over growing
+//! list lengths.
+//!
+//! Expected shape: both scale linearly in the list length; the dictionary
+//! version pays a constant factor for tuple projection on every element
+//! (the member accesses are let-bound outside the loop in Figure 5's
+//! source, so the factor is small).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_dictionary_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dictionary_overhead");
+    for n in [16usize, 64, 256, 1024] {
+        // Dictionary-passing: Figure 5 compiled through the F_G pipeline.
+        let generic = fg::compile(&bench::generic_accumulate_program(n)).unwrap();
+        system_f::typecheck(&generic.term).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("translated_generic", n),
+            &generic.term,
+            |b, term| b.iter(|| system_f::eval(black_box(term)).unwrap()),
+        );
+        // The same translated program on the bytecode VM.
+        let vm_prog = system_f::vm::compile(&generic.term).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("translated_generic_vm", n),
+            &vm_prog,
+            |b, prog| b.iter(|| system_f::vm::run(black_box(prog)).unwrap()),
+        );
+        // Baseline: hand-monomorphized System F sum.
+        let mono = bench::monomorphic_sum(n);
+        system_f::typecheck(&mono).unwrap();
+        group.bench_with_input(BenchmarkId::new("monomorphized", n), &mono, |b, term| {
+            b.iter(|| system_f::eval(black_box(term)).unwrap())
+        });
+        // Higher-order System F (Figure 3 style): operations passed as
+        // ordinary value arguments rather than dictionaries.
+        let fig3_style = {
+            let src = format!(
+                "let sum = biglam t.
+                   fix sum: fn(list t, fn(t, t) -> t, t) -> t.
+                     lam ls: list t, add: fn(t, t) -> t, zero: t.
+                       if null[t](ls) then zero
+                       else add(car[t](ls), sum(cdr[t](ls), add, zero))
+                 in sum[int]({}, iadd, 0)",
+                bench::int_list_src(n)
+            );
+            system_f::parse_term(&src).unwrap()
+        };
+        system_f::typecheck(&fig3_style).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("higher_order_fig3", n),
+            &fig3_style,
+            |b, term| b.iter(|| system_f::eval(black_box(term)).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dictionary_overhead);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! C4 — scoped model lookup.
+//!
+//! F_G resolves model requirements by searching the lexical scope
+//! newest-first with type equality at each candidate (the paper's MDL/MEM
+//! environment lookup). This bench measures member access and
+//! typechecking cost as the number of in-scope models grows, accessing the
+//! *first-declared* model (the worst case for newest-first search).
+//!
+//! Expected shape: linear in the number of in-scope models — the classic
+//! trade-off of scoped instances versus Haskell's global instance table.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_model_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("model_lookup");
+    for width in [1usize, 8, 32, 128] {
+        let src = bench::many_models_program(width);
+        let expr = fg::parser::parse_expr(&src).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("worst_case_access", width),
+            &expr,
+            |b, expr| b.iter(|| fg::check_program(black_box(expr)).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_prelude(c: &mut Criterion) {
+    // A library-scale program: the full STL-flavoured prelude plus a body.
+    let src = fg::stdlib::with_prelude("accumulate[int](range(1, 10))");
+    let mut group = c.benchmark_group("stl_prelude");
+    group.bench_function("parse", |b| {
+        b.iter(|| fg::parser::parse_expr(black_box(&src)).unwrap())
+    });
+    let expr = fg::parser::parse_expr(&src).unwrap();
+    group.bench_function("check_translate", |b| {
+        b.iter(|| fg::check_program(black_box(&expr)).unwrap())
+    });
+    let compiled = fg::check_program(&expr).unwrap();
+    group.bench_function("eval", |b| {
+        b.iter(|| system_f::eval(black_box(&compiled.term)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_model_lookup, bench_prelude);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! F1–F7 — every figure-level program of the paper, benchmarked through
+//! the full pipeline stage by stage: parse, typecheck+translate, evaluate.
+//!
+//! Also includes Figure 3's plain System F `sum` (the language the paper
+//! starts from), so the F_G front-end cost is visible relative to raw
+//! System F processing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fg::corpus;
+use std::hint::black_box;
+
+fn bench_corpus(c: &mut Criterion) {
+    let mut group = c.benchmark_group("paper_figures");
+    for p in corpus::ALL {
+        group.bench_function(format!("{}/parse", p.id), |b| {
+            b.iter(|| fg::parser::parse_expr(black_box(p.source)).unwrap())
+        });
+        let expr = fg::parser::parse_expr(p.source).unwrap();
+        group.bench_function(format!("{}/check_translate", p.id), |b| {
+            b.iter(|| fg::check_program(black_box(&expr)).unwrap())
+        });
+        let compiled = fg::check_program(&expr).unwrap();
+        group.bench_function(format!("{}/eval_translated", p.id), |b| {
+            b.iter(|| system_f::eval(black_box(&compiled.term)).unwrap())
+        });
+        group.bench_function(format!("{}/eval_direct", p.id), |b| {
+            b.iter(|| fg::interp::run_direct(black_box(&expr)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_figure_3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure_3_system_f");
+    group.bench_function("parse", |b| {
+        b.iter(|| system_f::parse_term(black_box(corpus::FIG3_SUM_SYSTEM_F)).unwrap())
+    });
+    let term = system_f::parse_term(corpus::FIG3_SUM_SYSTEM_F).unwrap();
+    group.bench_function("typecheck", |b| {
+        b.iter(|| system_f::typecheck(black_box(&term)).unwrap())
+    });
+    group.bench_function("eval", |b| {
+        b.iter(|| system_f::eval(black_box(&term)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_corpus, bench_figure_3);
+criterion_main!(benches);

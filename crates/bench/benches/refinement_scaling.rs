@@ -1,0 +1,63 @@
+//! C3 — typechecking/translation cost versus concept-hierarchy shape.
+//!
+//! §5.2 notes two complications the translation must handle: refinement
+//! makes dictionaries nest, and diamonds threaten duplicated associated
+//! types. This bench measures the checker+translator on (a) refinement
+//! *chains* of growing depth, and (b) diamond *lattices* of growing width,
+//! where each layer refines every concept in the previous layer (dictionary
+//! size grows combinatorially while the deduplicated associated types stay
+//! constant).
+//!
+//! Expected shape: chains scale roughly quadratically in depth (each level
+//! re-instantiates its ancestors); diamonds grow with the lattice's edge
+//! count, not exponentially in deduplicated type parameters.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_refinement_chains(c: &mut Criterion) {
+    let mut group = c.benchmark_group("refinement_chain");
+    for depth in [1usize, 2, 4, 8, 16] {
+        let src = bench::refinement_chain_program(depth);
+        let expr = fg::parser::parse_expr(&src).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("check_translate", depth),
+            &expr,
+            |b, expr| b.iter(|| fg::check_program(black_box(expr)).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_diamonds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("diamond_lattice");
+    for width in [1usize, 2, 3, 4] {
+        let src = bench::diamond_program(3, width);
+        let expr = fg::parser::parse_expr(&src).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("layers3_width", width),
+            &expr,
+            |b, expr| b.iter(|| fg::check_program(black_box(expr)).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_same_type_chains(c: &mut Criterion) {
+    // C5 — §5.1 in situ: typechecking cost as the number of same-type
+    // constraints (and congruence-closure work) grows.
+    let mut group = c.benchmark_group("same_type_chain");
+    for k in [1usize, 2, 4, 8, 16] {
+        let src = bench::same_type_chain_program(k);
+        let expr = fg::parser::parse_expr(&src).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("check_translate", k),
+            &expr,
+            |b, expr| b.iter(|| fg::check_program(black_box(expr)).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_refinement_chains, bench_diamonds, bench_same_type_chains);
+criterion_main!(benches);

@@ -1,0 +1,486 @@
+//! Union-find and congruence closure for the quantifier-free theory of
+//! equality with uninterpreted function symbols.
+//!
+//! The F_G language of Siek and Lumsdaine ("Essential Language Support for
+//! Generic Programming", PLDI 2005) extends System F with *same-type
+//! constraints*: declarations that two type expressions — possibly involving
+//! opaque associated-type projections such as `Iterator<I>.elt` — denote the
+//! same type. Deciding type equality in the presence of such constraints "is
+//! equivalent to the quantifier free theory of equality with uninterpreted
+//! function symbols, for which there is an efficient O(n log n) time
+//! algorithm" (§5.1 of the paper, citing Nelson and Oppen, JACM 1980).
+//!
+//! This crate provides that algorithm as a standalone library:
+//!
+//! * [`UnionFind`] — a classic disjoint-set forest with union by rank and
+//!   path compression.
+//! * [`Congruence`] — an incremental congruence closure over a hash-consed
+//!   term bank, in the style of Nelson–Oppen / Downey–Sethi–Tarjan.
+//! * [`NaiveClosure`] — a deliberately simple O(n²·m) fixpoint
+//!   implementation used as a differential-testing oracle and as the
+//!   baseline for the `congruence_scaling` benchmark.
+//!
+//! # Example
+//!
+//! Deciding `f(f(a)) = a` from `f(f(f(a))) = a` and `f(f(f(f(f(a))))) = a`
+//! (the classic Nelson–Oppen example):
+//!
+//! ```
+//! use congruence::{Congruence, Op};
+//!
+//! let mut cc = Congruence::new();
+//! let f = Op(0);
+//! let a = cc.constant(Op(1));
+//! let fa = cc.term(f, &[a]);
+//! let ffa = cc.term(f, &[fa]);
+//! let fffa = cc.term(f, &[ffa]);
+//! let ffffa = cc.term(f, &[fffa]);
+//! let fffffa = cc.term(f, &[ffffa]);
+//! cc.merge(fffa, a);
+//! cc.merge(fffffa, a);
+//! assert!(cc.eq(ffa, a));
+//! assert!(cc.eq(fa, a));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod naive;
+mod union_find;
+
+pub use naive::NaiveClosure;
+pub use union_find::UnionFind;
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// An uninterpreted function symbol (or constant, when applied to zero
+/// arguments).
+///
+/// Clients allocate `Op` values themselves — typically by interning names in
+/// their own symbol table — so the congruence closure never needs to know
+/// what the symbols mean.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Op(pub u32);
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "op{}", self.0)
+    }
+}
+
+/// A handle to a hash-consed term in a [`Congruence`] instance.
+///
+/// Term ids are only meaningful with respect to the `Congruence` (or
+/// [`NaiveClosure`]) that created them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TermId(u32);
+
+impl TermId {
+    /// The term's index in the term bank.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    fn from_index(i: usize) -> Self {
+        TermId(u32::try_from(i).expect("term bank exceeded u32::MAX entries"))
+    }
+
+    /// Rebuilds a handle from a raw index previously obtained via
+    /// [`TermId::index`]. Only meaningful for indices below the owning
+    /// instance's [`Congruence::len`]; passing anything else yields a
+    /// handle that the owning instance will reject or misattribute.
+    pub fn from_raw_index(i: usize) -> Self {
+        Self::from_index(i)
+    }
+}
+
+impl fmt::Display for TermId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Crate-internal constructor used by the naive oracle, which shares the
+/// public `TermId` handle type.
+pub(crate) fn term_id_from_index(i: usize) -> TermId {
+    TermId::from_index(i)
+}
+
+/// A node in the term bank: an operator applied to zero or more children.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct Node {
+    op: Op,
+    children: Vec<TermId>,
+}
+
+/// Incremental congruence closure over a hash-consed term bank.
+///
+/// Terms are created with [`Congruence::term`] (hash-consed: structurally
+/// identical terms receive the same [`TermId`]). Equalities are asserted
+/// with [`Congruence::merge`] and queried with [`Congruence::eq`]. The
+/// congruence axiom — if `a₁ = b₁, …, aₙ = bₙ` then
+/// `f(a₁,…,aₙ) = f(b₁,…,bₙ)` — is maintained eagerly via use-lists and a
+/// signature table, so queries are near-constant time.
+///
+/// The structure is cheaply `Clone`-able, which the F_G typechecker exploits
+/// to give same-type constraints lexical scope: entering a `Λ` body clones
+/// the congruence, asserts the body's constraints, and discards the clone on
+/// exit.
+#[derive(Debug, Clone, Default)]
+pub struct Congruence {
+    nodes: Vec<Node>,
+    /// Hash-consing table: structural node -> existing term.
+    hashcons: HashMap<Node, TermId>,
+    uf: UnionFind,
+    /// For each term (indexed by id), the parent terms in which it occurs
+    /// directly. Only the entry of a class representative is authoritative.
+    use_list: Vec<Vec<TermId>>,
+    /// Signature table: (op, canonical children) -> some term with that
+    /// signature. Rebuilt lazily during merges.
+    sigs: HashMap<Node, TermId>,
+}
+
+impl Congruence {
+    /// Creates an empty congruence closure.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The number of distinct terms created so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` if no terms have been created.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Creates (or retrieves) the constant term `op`.
+    ///
+    /// Equivalent to `self.term(op, &[])`.
+    pub fn constant(&mut self, op: Op) -> TermId {
+        self.term(op, &[])
+    }
+
+    /// Creates (or retrieves) the term `op(children…)`.
+    ///
+    /// The returned id is hash-consed on *structure*: calling `term` twice
+    /// with identical arguments returns the same id. In addition, if an
+    /// existing term is congruent to the new one (its children are merely
+    /// *equal* rather than identical), the new term is placed in that term's
+    /// equivalence class immediately.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any child id was not created by this instance.
+    pub fn term(&mut self, op: Op, children: &[TermId]) -> TermId {
+        for c in children {
+            assert!(c.index() < self.nodes.len(), "foreign TermId {c:?}");
+        }
+        let node = Node {
+            op,
+            children: children.to_vec(),
+        };
+        if let Some(&id) = self.hashcons.get(&node) {
+            return id;
+        }
+        let id = TermId::from_index(self.nodes.len());
+        self.nodes.push(node.clone());
+        self.hashcons.insert(node, id);
+        self.uf.push();
+        self.use_list.push(Vec::new());
+        for &c in children {
+            let rc = self.find(c);
+            self.use_list[rc.index()].push(id);
+        }
+        // If a congruent term already exists, merge into its class.
+        let sig = self.signature(id);
+        if let Some(&other) = self.sigs.get(&sig) {
+            self.sigs.insert(sig, other);
+            self.merge(id, other);
+        } else {
+            self.sigs.insert(sig, id);
+        }
+        id
+    }
+
+    /// The operator of a term.
+    pub fn op(&self, t: TermId) -> Op {
+        self.nodes[t.index()].op
+    }
+
+    /// The children of a term.
+    pub fn children(&self, t: TermId) -> &[TermId] {
+        &self.nodes[t.index()].children
+    }
+
+    /// Asserts that `a` and `b` denote the same value, propagating all
+    /// consequences of the congruence axiom.
+    pub fn merge(&mut self, a: TermId, b: TermId) {
+        let mut pending = vec![(a, b)];
+        while let Some((x, y)) = pending.pop() {
+            let rx = self.find(x);
+            let ry = self.find(y);
+            if rx == ry {
+                continue;
+            }
+            // Union by use-list size: move the smaller list.
+            let (small, big) = if self.use_list[rx.index()].len() <= self.use_list[ry.index()].len()
+            {
+                (rx, ry)
+            } else {
+                (ry, rx)
+            };
+            // Detach the smaller class's parents before re-canonicalizing.
+            let moved = std::mem::take(&mut self.use_list[small.index()]);
+            self.uf.union_into(small.index(), big.index());
+            for &parent in &moved {
+                let sig = self.signature(parent);
+                match self.sigs.get(&sig) {
+                    Some(&existing) if !self.uf.same(existing.index(), parent.index()) => {
+                        pending.push((existing, parent));
+                    }
+                    Some(_) => {}
+                    None => {
+                        self.sigs.insert(sig, parent);
+                    }
+                }
+            }
+            let mut moved = moved;
+            self.use_list[big.index()].append(&mut moved);
+        }
+    }
+
+    /// Returns `true` if `a` and `b` are known to be equal.
+    pub fn eq(&self, a: TermId, b: TermId) -> bool {
+        self.uf.same_no_compress(a.index(), b.index())
+    }
+
+    /// The canonical representative of `t`'s equivalence class.
+    ///
+    /// Representatives are stable between merges, so callers may use them
+    /// as class keys (the F_G → System F translation does exactly this to
+    /// pick one System F type per same-type equivalence class).
+    pub fn find(&mut self, t: TermId) -> TermId {
+        TermId::from_index(self.uf.find(t.index()))
+    }
+
+    /// Like [`Congruence::find`] but without path compression, usable with a
+    /// shared reference.
+    pub fn find_no_compress(&self, t: TermId) -> TermId {
+        TermId::from_index(self.uf.find_no_compress(t.index()))
+    }
+
+    /// The canonical signature of a term: its operator applied to the class
+    /// representatives of its children.
+    fn signature(&mut self, t: TermId) -> Node {
+        let node = self.nodes[t.index()].clone();
+        Node {
+            op: node.op,
+            children: node.children.iter().map(|&c| self.find(c)).collect(),
+        }
+    }
+
+    /// Enumerates the current equivalence classes as sorted vectors of term
+    /// ids. Intended for tests and debugging output.
+    pub fn classes(&self) -> Vec<Vec<TermId>> {
+        let mut by_repr: HashMap<usize, Vec<TermId>> = HashMap::new();
+        for i in 0..self.nodes.len() {
+            by_repr
+                .entry(self.uf.find_no_compress(i))
+                .or_default()
+                .push(TermId::from_index(i));
+        }
+        let mut classes: Vec<Vec<TermId>> = by_repr.into_values().collect();
+        for class in &mut classes {
+            class.sort();
+        }
+        classes.sort();
+        classes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f() -> Op {
+        Op(100)
+    }
+    fn g() -> Op {
+        Op(101)
+    }
+
+    #[test]
+    fn hash_consing_returns_same_id() {
+        let mut cc = Congruence::new();
+        let a = cc.constant(Op(0));
+        let b = cc.constant(Op(0));
+        assert_eq!(a, b);
+        let fa1 = cc.term(f(), &[a]);
+        let fa2 = cc.term(f(), &[a]);
+        assert_eq!(fa1, fa2);
+        assert_eq!(cc.len(), 2);
+    }
+
+    #[test]
+    fn distinct_constants_are_unequal() {
+        let mut cc = Congruence::new();
+        let a = cc.constant(Op(0));
+        let b = cc.constant(Op(1));
+        assert!(!cc.eq(a, b));
+        assert!(cc.eq(a, a));
+    }
+
+    #[test]
+    fn merge_makes_terms_equal() {
+        let mut cc = Congruence::new();
+        let a = cc.constant(Op(0));
+        let b = cc.constant(Op(1));
+        cc.merge(a, b);
+        assert!(cc.eq(a, b));
+    }
+
+    #[test]
+    fn congruence_axiom_propagates_upward() {
+        let mut cc = Congruence::new();
+        let a = cc.constant(Op(0));
+        let b = cc.constant(Op(1));
+        let fa = cc.term(f(), &[a]);
+        let fb = cc.term(f(), &[b]);
+        assert!(!cc.eq(fa, fb));
+        cc.merge(a, b);
+        assert!(cc.eq(fa, fb));
+    }
+
+    #[test]
+    fn congruence_propagates_through_two_levels() {
+        let mut cc = Congruence::new();
+        let a = cc.constant(Op(0));
+        let b = cc.constant(Op(1));
+        let fa = cc.term(f(), &[a]);
+        let fb = cc.term(f(), &[b]);
+        let gfa = cc.term(g(), &[fa]);
+        let gfb = cc.term(g(), &[fb]);
+        cc.merge(a, b);
+        assert!(cc.eq(gfa, gfb));
+    }
+
+    #[test]
+    fn nelson_oppen_classic_example() {
+        // From f(f(f(a))) = a and f(f(f(f(f(a))))) = a conclude f(a) = a.
+        let mut cc = Congruence::new();
+        let a = cc.constant(Op(0));
+        let f1 = cc.term(f(), &[a]);
+        let f2 = cc.term(f(), &[f1]);
+        let f3 = cc.term(f(), &[f2]);
+        let f4 = cc.term(f(), &[f3]);
+        let f5 = cc.term(f(), &[f4]);
+        cc.merge(f3, a);
+        cc.merge(f5, a);
+        assert!(cc.eq(f1, a));
+        assert!(cc.eq(f2, a));
+    }
+
+    #[test]
+    fn late_term_creation_sees_existing_equalities() {
+        // Merge first, create the compound terms afterwards: the signature
+        // table must still identify them.
+        let mut cc = Congruence::new();
+        let a = cc.constant(Op(0));
+        let b = cc.constant(Op(1));
+        cc.merge(a, b);
+        let fa = cc.term(f(), &[a]);
+        let fb = cc.term(f(), &[b]);
+        assert!(cc.eq(fa, fb));
+    }
+
+    #[test]
+    fn mixed_arity_same_op_does_not_collide() {
+        let mut cc = Congruence::new();
+        let a = cc.constant(Op(0));
+        let one = cc.term(f(), &[a]);
+        let two = cc.term(f(), &[a, a]);
+        assert!(!cc.eq(one, two));
+    }
+
+    #[test]
+    fn different_ops_same_children_are_unequal() {
+        let mut cc = Congruence::new();
+        let a = cc.constant(Op(0));
+        let fa = cc.term(f(), &[a]);
+        let ga = cc.term(g(), &[a]);
+        assert!(!cc.eq(fa, ga));
+    }
+
+    #[test]
+    fn clone_isolates_later_merges() {
+        let mut cc = Congruence::new();
+        let a = cc.constant(Op(0));
+        let b = cc.constant(Op(1));
+        let snapshot = cc.clone();
+        cc.merge(a, b);
+        assert!(cc.eq(a, b));
+        assert!(!snapshot.eq(a, b));
+    }
+
+    #[test]
+    fn classes_partition_all_terms() {
+        let mut cc = Congruence::new();
+        let a = cc.constant(Op(0));
+        let b = cc.constant(Op(1));
+        let c = cc.constant(Op(2));
+        cc.merge(a, b);
+        let classes = cc.classes();
+        assert_eq!(classes.len(), 2);
+        let total: usize = classes.iter().map(Vec::len).sum();
+        assert_eq!(total, 3);
+        let _ = c;
+    }
+
+    #[test]
+    fn find_is_stable_for_class_members() {
+        let mut cc = Congruence::new();
+        let a = cc.constant(Op(0));
+        let b = cc.constant(Op(1));
+        cc.merge(a, b);
+        assert_eq!(cc.find(a), cc.find(b));
+        assert_eq!(cc.find_no_compress(a), cc.find_no_compress(b));
+    }
+
+    #[test]
+    #[should_panic(expected = "foreign TermId")]
+    fn foreign_term_id_panics() {
+        let mut cc1 = Congruence::new();
+        let mut cc2 = Congruence::new();
+        let a = cc1.constant(Op(0));
+        let fa = cc1.term(f(), &[a]);
+        let _ = cc2.term(f(), &[fa]);
+    }
+
+    #[test]
+    fn merge_chain_is_transitive() {
+        let mut cc = Congruence::new();
+        let ids: Vec<_> = (0..10).map(|i| cc.constant(Op(i))).collect();
+        for w in ids.windows(2) {
+            cc.merge(w[0], w[1]);
+        }
+        assert!(cc.eq(ids[0], ids[9]));
+    }
+
+    #[test]
+    fn binary_congruence_requires_both_children_equal() {
+        let mut cc = Congruence::new();
+        let a = cc.constant(Op(0));
+        let b = cc.constant(Op(1));
+        let c = cc.constant(Op(2));
+        let fab = cc.term(f(), &[a, b]);
+        let fac = cc.term(f(), &[a, c]);
+        assert!(!cc.eq(fab, fac));
+        cc.merge(b, c);
+        assert!(cc.eq(fab, fac));
+    }
+}

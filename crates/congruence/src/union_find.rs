@@ -1,0 +1,211 @@
+//! A disjoint-set forest (union-find) over dense `usize` indices.
+
+/// A disjoint-set forest with path compression.
+///
+/// Elements are dense indices `0..len`, added with [`UnionFind::push`] or
+/// [`UnionFind::new`]. Two union operations are provided: rank-balanced
+/// [`UnionFind::union`], and [`UnionFind::union_into`] which lets the caller
+/// pick the surviving representative (needed by the congruence closure,
+/// whose signature table is keyed on representatives).
+///
+/// ```
+/// use congruence::UnionFind;
+///
+/// let mut uf = UnionFind::new(4);
+/// uf.union(0, 1);
+/// uf.union(2, 3);
+/// assert!(uf.same(0, 1));
+/// assert!(!uf.same(1, 2));
+/// uf.union(1, 3);
+/// assert!(uf.same(0, 2));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct UnionFind {
+    parent: Vec<usize>,
+    rank: Vec<u8>,
+}
+
+impl UnionFind {
+    /// Creates a forest of `n` singleton classes.
+    pub fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+            rank: vec![0; n],
+        }
+    }
+
+    /// The number of elements (not classes).
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Returns `true` if the forest has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Appends a fresh singleton element and returns its index.
+    pub fn push(&mut self) -> usize {
+        let i = self.parent.len();
+        self.parent.push(i);
+        self.rank.push(0);
+        i
+    }
+
+    /// The representative of `x`'s class, compressing paths along the way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x >= self.len()`.
+    pub fn find(&mut self, mut x: usize) -> usize {
+        // Iterative two-pass path compression.
+        let mut root = x;
+        while self.parent[root] != root {
+            root = self.parent[root];
+        }
+        while self.parent[x] != root {
+            let next = self.parent[x];
+            self.parent[x] = root;
+            x = next;
+        }
+        root
+    }
+
+    /// The representative of `x`'s class, without mutating the forest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x >= self.len()`.
+    pub fn find_no_compress(&self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            x = self.parent[x];
+        }
+        x
+    }
+
+    /// Merges the classes of `a` and `b` (union by rank). Returns the
+    /// surviving representative.
+    pub fn union(&mut self, a: usize, b: usize) -> usize {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return ra;
+        }
+        let (child, root) = match self.rank[ra].cmp(&self.rank[rb]) {
+            std::cmp::Ordering::Less => (ra, rb),
+            std::cmp::Ordering::Greater => (rb, ra),
+            std::cmp::Ordering::Equal => {
+                self.rank[rb] += 1;
+                (ra, rb)
+            }
+        };
+        self.parent[child] = root;
+        root
+    }
+
+    /// Merges `child`'s class into `root`'s class so that `root`'s current
+    /// representative survives. Returns that representative.
+    ///
+    /// Unlike [`UnionFind::union`] this ignores ranks; the caller trades
+    /// balance for control over which representative is kept.
+    pub fn union_into(&mut self, child: usize, root: usize) -> usize {
+        let rc = self.find(child);
+        let rr = self.find(root);
+        if rc != rr {
+            self.parent[rc] = rr;
+        }
+        rr
+    }
+
+    /// Returns `true` if `a` and `b` are in the same class (compressing).
+    pub fn same(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Returns `true` if `a` and `b` are in the same class, without
+    /// mutating the forest.
+    pub fn same_no_compress(&self, a: usize, b: usize) -> bool {
+        self.find_no_compress(a) == self.find_no_compress(b)
+    }
+
+    /// The number of distinct classes.
+    pub fn class_count(&self) -> usize {
+        (0..self.len())
+            .filter(|&i| self.find_no_compress(i) == i)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons_are_their_own_representatives() {
+        let uf = UnionFind::new(5);
+        for i in 0..5 {
+            assert_eq!(uf.find_no_compress(i), i);
+        }
+        assert_eq!(uf.class_count(), 5);
+    }
+
+    #[test]
+    fn union_merges_classes() {
+        let mut uf = UnionFind::new(4);
+        uf.union(0, 1);
+        assert!(uf.same(0, 1));
+        assert!(!uf.same(0, 2));
+        assert_eq!(uf.class_count(), 3);
+    }
+
+    #[test]
+    fn union_is_idempotent() {
+        let mut uf = UnionFind::new(3);
+        uf.union(0, 1);
+        uf.union(0, 1);
+        uf.union(1, 0);
+        assert_eq!(uf.class_count(), 2);
+    }
+
+    #[test]
+    fn union_into_keeps_requested_root() {
+        let mut uf = UnionFind::new(3);
+        let r = uf.union_into(0, 1);
+        assert_eq!(r, 1);
+        assert_eq!(uf.find(0), 1);
+        let r = uf.union_into(2, 0);
+        assert_eq!(r, 1);
+    }
+
+    #[test]
+    fn push_adds_singletons() {
+        let mut uf = UnionFind::new(0);
+        assert!(uf.is_empty());
+        let a = uf.push();
+        let b = uf.push();
+        assert_eq!((a, b), (0, 1));
+        assert!(!uf.same(a, b));
+    }
+
+    #[test]
+    fn transitivity_across_long_chain() {
+        let mut uf = UnionFind::new(100);
+        for i in 0..99 {
+            uf.union(i, i + 1);
+        }
+        assert!(uf.same(0, 99));
+        assert_eq!(uf.class_count(), 1);
+    }
+
+    #[test]
+    fn no_compress_matches_compressing_find() {
+        let mut uf = UnionFind::new(10);
+        uf.union(0, 1);
+        uf.union(1, 2);
+        uf.union(5, 6);
+        for i in 0..10 {
+            let nc = uf.find_no_compress(i);
+            assert_eq!(uf.find(i), nc);
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Property tests: the optimized Nelson–Oppen closure agrees with the naive
+//! fixpoint oracle on randomly generated term banks and merge scripts, and
+//! union-find obeys the equivalence-relation laws.
+
+use congruence::{Congruence, NaiveClosure, Op, TermId, UnionFind};
+use proptest::prelude::*;
+
+/// A random "script": term constructions interleaved with merges. Children
+/// and merge operands refer to previously created terms by index, taken
+/// modulo the number of terms created so far.
+#[derive(Debug, Clone)]
+enum Step {
+    /// `Term(op, child_seeds)` — create `op(children…)` with arity 0..=3.
+    Term(u32, Vec<usize>),
+    /// `Merge(a_seed, b_seed)` — assert equality of two existing terms.
+    Merge(usize, usize),
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        3 => (0u32..6, proptest::collection::vec(0usize..64, 0..=3)).prop_map(|(op, kids)| Step::Term(op, kids)),
+        1 => (0usize..64, 0usize..64).prop_map(|(a, b)| Step::Merge(a, b)),
+    ]
+}
+
+/// Replays a script into both implementations, returning the parallel term
+/// lists (identical construction order in each).
+fn replay(steps: &[Step]) -> (Congruence, NaiveClosure, Vec<TermId>, Vec<TermId>) {
+    let mut fast = Congruence::new();
+    let mut slow = NaiveClosure::new();
+    let mut fast_terms: Vec<TermId> = Vec::new();
+    let mut slow_terms: Vec<TermId> = Vec::new();
+    for step in steps {
+        match step {
+            Step::Term(op, kids) => {
+                if fast_terms.is_empty() && !kids.is_empty() {
+                    continue;
+                }
+                let fk: Vec<TermId> = kids
+                    .iter()
+                    .map(|&k| fast_terms[k % fast_terms.len().max(1)])
+                    .collect();
+                let sk: Vec<TermId> = kids
+                    .iter()
+                    .map(|&k| slow_terms[k % slow_terms.len().max(1)])
+                    .collect();
+                fast_terms.push(fast.term(Op(*op), &fk));
+                slow_terms.push(slow.term(Op(*op), &sk));
+            }
+            Step::Merge(a, b) => {
+                if fast_terms.is_empty() {
+                    continue;
+                }
+                let n = fast_terms.len();
+                fast.merge(fast_terms[a % n], fast_terms[b % n]);
+                slow.merge(slow_terms[a % n], slow_terms[b % n]);
+            }
+        }
+    }
+    (fast, slow, fast_terms, slow_terms)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The two implementations hash-cons identically, so the k-th created
+    /// term has the same id in both; every pairwise equality query must
+    /// agree.
+    #[test]
+    fn fast_closure_agrees_with_naive_oracle(steps in proptest::collection::vec(step_strategy(), 1..40)) {
+        let (fast, slow, fast_terms, slow_terms) = replay(&steps);
+        prop_assert_eq!(fast_terms.len(), slow_terms.len());
+        for i in 0..fast_terms.len() {
+            for j in 0..fast_terms.len() {
+                let f = fast.eq(fast_terms[i], fast_terms[j]);
+                let s = slow.eq(slow_terms[i], slow_terms[j]);
+                prop_assert_eq!(f, s, "disagreement on pair ({}, {})", i, j);
+            }
+        }
+    }
+
+    /// Equality in the closure is an equivalence relation.
+    #[test]
+    fn closure_equality_is_an_equivalence(steps in proptest::collection::vec(step_strategy(), 1..40)) {
+        let (fast, _, terms, _) = replay(&steps);
+        let n = terms.len();
+        for i in 0..n {
+            prop_assert!(fast.eq(terms[i], terms[i]));
+            for j in 0..n {
+                prop_assert_eq!(fast.eq(terms[i], terms[j]), fast.eq(terms[j], terms[i]));
+                for k in 0..n {
+                    if fast.eq(terms[i], terms[j]) && fast.eq(terms[j], terms[k]) {
+                        prop_assert!(fast.eq(terms[i], terms[k]));
+                    }
+                }
+            }
+        }
+    }
+
+    /// `classes()` is a partition: disjoint, total, and internally equal.
+    #[test]
+    fn classes_form_a_partition(steps in proptest::collection::vec(step_strategy(), 1..40)) {
+        let (fast, _, _, _) = replay(&steps);
+        let classes = fast.classes();
+        let mut seen = std::collections::HashSet::new();
+        for class in &classes {
+            for &t in class {
+                prop_assert!(seen.insert(t), "term {t:?} appears in two classes");
+                prop_assert!(fast.eq(t, class[0]));
+            }
+        }
+        prop_assert_eq!(seen.len(), fast.len());
+    }
+
+    /// Union-find: `same` after unions matches a brute-force partition.
+    #[test]
+    fn union_find_matches_bruteforce(
+        n in 1usize..40,
+        unions in proptest::collection::vec((0usize..40, 0usize..40), 0..60),
+    ) {
+        let mut uf = UnionFind::new(n);
+        // Brute force: adjacency + transitive closure by iteration.
+        let mut cls: Vec<usize> = (0..n).collect();
+        for &(a, b) in &unions {
+            let (a, b) = (a % n, b % n);
+            uf.union(a, b);
+            let (ka, kb) = (cls[a], cls[b]);
+            if ka != kb {
+                for c in cls.iter_mut() {
+                    if *c == kb {
+                        *c = ka;
+                    }
+                }
+            }
+        }
+        for i in 0..n {
+            for j in 0..n {
+                prop_assert_eq!(uf.same(i, j), cls[i] == cls[j]);
+            }
+        }
+    }
+
+    /// Path compression never changes answers: `find` and
+    /// `find_no_compress` always agree.
+    #[test]
+    fn compression_is_observationally_pure(
+        n in 1usize..30,
+        unions in proptest::collection::vec((0usize..30, 0usize..30), 0..40),
+    ) {
+        let mut uf = UnionFind::new(n);
+        for &(a, b) in &unions {
+            uf.union(a % n, b % n);
+        }
+        for i in 0..n {
+            let nc = uf.find_no_compress(i);
+            prop_assert_eq!(uf.find(i), nc);
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! `fg` — the command-line driver for the F_G language.
+//!
+//! ```text
+//! fg check <file.fg>       typecheck, print the program's F_G type
+//! fg translate <file.fg>   print the System F translation
+//! fg run <file.fg>         translate and evaluate on the System F machine
+//! fg direct <file.fg>      evaluate with the direct interpreter
+//! fg ast <file.fg>         print the parsed AST (debug form)
+//! ```
+//!
+//! Pass `-` as the file to read from stdin, or `--prelude` before the
+//! subcommand to wrap the program in the STL-flavoured prelude of
+//! `fg::stdlib`.
+
+use std::io::Read;
+use std::process::ExitCode;
+
+mod repl;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: fg [--prelude] <check|translate|run|direct|elaborate|ast> <file.fg|->  |  fg [--prelude] repl\n\
+         \n\
+         check      typecheck and print the F_G type\n\
+         translate  print the dictionary-passing System F translation\n\
+         run        translate, typecheck the output, and evaluate it\n\
+         direct     evaluate with the direct F_G interpreter\n\
+         elaborate  print the program with inferred type arguments inserted\n\
+         vm         translate, compile to bytecode, and run on the VM\n\
+         bytecode   print the compiled bytecode (disassembly)\n\
+         fmt        reformat the program\n\
+         ast        print the parsed AST\n\
+         repl       interactive session (no file argument)"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut use_prelude = false;
+    if args.first().map(String::as_str) == Some("--prelude") {
+        use_prelude = true;
+        args.remove(0);
+    }
+    if args.as_slice() == ["repl"] {
+        let stdin = std::io::stdin();
+        return match repl::run_repl(stdin.lock(), std::io::stdout(), use_prelude) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("fg: io error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    let [cmd, path] = args.as_slice() else {
+        return usage();
+    };
+    if !matches!(
+        cmd.as_str(),
+        "check" | "translate" | "run" | "direct" | "elaborate" | "vm" | "bytecode" | "fmt"
+            | "ast"
+    ) {
+        return usage();
+    }
+    let source = match read_source(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("fg: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let full = if use_prelude {
+        fg::stdlib::with_prelude(&source)
+    } else {
+        source
+    };
+
+    let expr = match fg::parser::parse_expr(&full) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("fg: parse error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if cmd == "ast" {
+        println!("{expr:#?}");
+        return ExitCode::SUCCESS;
+    }
+    if cmd == "fmt" {
+        print!("{}", fg::format::format_program(&expr));
+        return ExitCode::SUCCESS;
+    }
+    let compiled = match fg::check_program(&expr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("fg: {}", e.render(&full));
+            return ExitCode::FAILURE;
+        }
+    };
+
+    match cmd.as_str() {
+        "check" => {
+            println!("{}", compiled.ty);
+            ExitCode::SUCCESS
+        }
+        "elaborate" => {
+            println!("{}", compiled.elaborated);
+            ExitCode::SUCCESS
+        }
+        "direct" => match fg::interp::run_direct(&compiled.elaborated) {
+            Ok(v) => {
+                println!("{v}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("fg: runtime error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        "translate" => {
+            println!("{}", compiled.term);
+            ExitCode::SUCCESS
+        }
+        "bytecode" => match system_f::vm::compile(&compiled.term) {
+            Ok(p) => {
+                print!("{p}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("fg: compile error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        "vm" => match system_f::vm::compile_and_run(&compiled.term) {
+            Ok(v) => {
+                println!("{v}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("fg: vm error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        "run" => {
+            if let Err(e) = system_f::typecheck(&compiled.term) {
+                eprintln!("fg: internal error: translation is ill-typed: {e}");
+                return ExitCode::FAILURE;
+            }
+            match system_f::eval(&compiled.term) {
+                Ok(v) => {
+                    println!("{v}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("fg: runtime error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        _ => usage(),
+    }
+}
+
+fn read_source(path: &str) -> std::io::Result<String> {
+    if path == "-" {
+        let mut buf = String::new();
+        std::io::stdin().read_to_string(&mut buf)?;
+        Ok(buf)
+    } else {
+        std::fs::read_to_string(path)
+    }
+}

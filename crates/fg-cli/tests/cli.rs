@@ -1,0 +1,159 @@
+//! End-to-end tests of the `fg` binary.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+const FIG5: &str = "
+    concept Semigroup<t> { binary_op : fn(t, t) -> t; } in
+    concept Monoid<t> { refines Semigroup<t>; identity_elt : t; } in
+    let accumulate = biglam t where Monoid<t>.
+        fix accum: fn(list t) -> t.
+          lam ls: list t.
+            if null[t](ls) then Monoid<t>.identity_elt
+            else Monoid<t>.binary_op(car[t](ls), accum(cdr[t](ls)))
+    in
+    model Semigroup<int> { binary_op = iadd; } in
+    model Monoid<int> { identity_elt = 0; } in
+    accumulate[int](cons[int](1, cons[int](2, nil[int])))
+";
+
+fn run_fg(args: &[&str], stdin: &str) -> (String, String, bool) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_fg"))
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn fg");
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(stdin.as_bytes())
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn run_subcommand_evaluates() {
+    let (stdout, stderr, ok) = run_fg(&["run", "-"], FIG5);
+    assert!(ok, "stderr: {stderr}");
+    assert_eq!(stdout.trim(), "3");
+}
+
+#[test]
+fn direct_subcommand_evaluates() {
+    let (stdout, _, ok) = run_fg(&["direct", "-"], FIG5);
+    assert!(ok);
+    assert_eq!(stdout.trim(), "3");
+}
+
+#[test]
+fn check_subcommand_prints_the_type() {
+    let (stdout, _, ok) = run_fg(&["check", "-"], FIG5);
+    assert!(ok);
+    assert_eq!(stdout.trim(), "int");
+    let (stdout, _, ok) = run_fg(
+        &["check", "-"],
+        "biglam t. lam x: t, y: int. x",
+    );
+    assert!(ok);
+    assert_eq!(stdout.trim(), "forall t. fn(t, int) -> t");
+}
+
+#[test]
+fn translate_subcommand_prints_system_f() {
+    let (stdout, _, ok) = run_fg(&["translate", "-"], FIG5);
+    assert!(ok);
+    assert!(stdout.contains("biglam t. lam Monoid_"), "{stdout}");
+    // The output must itself be valid System F of the right type.
+    let term = system_f::parse_term(&stdout).expect("translation parses");
+    assert_eq!(system_f::typecheck(&term), Ok(system_f::Ty::Int));
+    assert_eq!(system_f::eval(&term).unwrap(), system_f::Value::Int(3));
+}
+
+#[test]
+fn vm_subcommand_evaluates() {
+    let (stdout, stderr, ok) = run_fg(&["vm", "-"], FIG5);
+    assert!(ok, "stderr: {stderr}");
+    assert_eq!(stdout.trim(), "3");
+}
+
+#[test]
+fn repl_smoke() {
+    let (stdout, _, ok) = run_fg(
+        &["repl"],
+        "let x = 40
+iadd(x, 2)
+:type x
+:quit
+",
+    );
+    assert!(ok);
+    assert!(stdout.contains("defined (let)"), "{stdout}");
+    assert!(stdout.contains("42 : int"), "{stdout}");
+    assert!(stdout.contains("int"), "{stdout}");
+}
+
+#[test]
+fn fmt_subcommand_reformats() {
+    let (stdout, _, ok) = run_fg(&["fmt", "-"], FIG5);
+    assert!(ok);
+    assert!(stdout.contains("concept Semigroup<t> {\n"), "{stdout}");
+    // The formatted output still runs.
+    let (out2, _, ok2) = run_fg(&["run", "-"], &stdout);
+    assert!(ok2);
+    assert_eq!(out2.trim(), "3");
+}
+
+#[test]
+fn bytecode_subcommand_disassembles() {
+    let (stdout, _, ok) = run_fg(&["bytecode", "-"], FIG5);
+    assert!(ok);
+    assert!(stdout.contains("fn f0"), "{stdout}");
+    assert!(stdout.contains("closure"), "{stdout}");
+}
+
+#[test]
+fn prelude_flag_provides_the_stdlib() {
+    let (stdout, stderr, ok) = run_fg(
+        &["--prelude", "run", "-"],
+        "accumulate[int](range(1, 101))",
+    );
+    assert!(ok, "stderr: {stderr}");
+    assert_eq!(stdout.trim(), "5050");
+}
+
+#[test]
+fn type_errors_are_reported_with_position() {
+    let (_, stderr, ok) = run_fg(
+        &["check", "-"],
+        "concept A<t> { op : t; } in\nA<int>.op",
+    );
+    assert!(!ok);
+    assert!(
+        stderr.contains("no model for `A<int>`"),
+        "unhelpful error: {stderr}"
+    );
+    // Line:column rendering from CheckError::render.
+    assert!(stderr.contains("2:"), "missing position: {stderr}");
+}
+
+#[test]
+fn parse_errors_fail_cleanly() {
+    let (_, stderr, ok) = run_fg(&["run", "-"], "lam x int. x");
+    assert!(!ok);
+    assert!(stderr.contains("parse error"), "{stderr}");
+}
+
+#[test]
+fn usage_on_bad_invocation() {
+    let (_, stderr, ok) = run_fg(&["frobnicate", "-"], "");
+    assert!(!ok);
+    assert!(stderr.contains("usage:"), "{stderr}");
+}

@@ -1,0 +1,2197 @@
+//! The F_G typechecker and its type-directed translation to System F.
+//!
+//! This module implements the typing rules of Figure 9 (base F_G) and
+//! Figure 13 (associated types and same-type constraints), producing a
+//! System F term in the style of the paper's dictionary-passing
+//! translation:
+//!
+//! * a `model` declaration becomes `let d = tuple(…) in …`, where the tuple
+//!   nests the dictionaries of refined concepts followed by the member
+//!   implementations (Figure 7);
+//! * a constrained type abstraction `biglam t̄ where …` becomes a System F
+//!   type abstraction over `t̄` *plus one fresh type variable per associated
+//!   type introduced by the where clause*, whose body is a function over
+//!   the required dictionaries (§5.2);
+//! * instantiation `e[τ̄]` becomes type application at the translated
+//!   arguments and the resolved associated types, followed by application
+//!   to the dictionaries found in the lexical scope;
+//! * model member access `C<τ̄>.x` becomes a chain of tuple projections
+//!   (the paper's `nth` paths, computed by the β functions).
+//!
+//! Same-type constraints are decided by [`crate::typeeq::TypeEq`]
+//! (congruence closure); the translation maps every type to the
+//! representative of its equivalence class, which is how
+//! `Iterator<Iter1>.elt` and `Iterator<Iter2>.elt` collapse to the single
+//! type parameter the paper calls `elt1`.
+
+use std::collections::HashMap;
+
+use system_f::{Prim, Symbol, Term};
+
+use crate::ast::{ConceptDecl, ConceptItem, Constraint, Expr, ExprKind, FgTy, ModelDecl, ModelItem};
+use crate::concepts::{ConceptInfo, ConceptTable, MemberSig};
+use crate::error::{CheckError, ErrorKind};
+use crate::rty::{subst, ConceptId, RConstraint, RTy};
+use crate::typeeq::TypeEq;
+use system_f::lexer::Span;
+
+/// The result of checking a program: its F_G type and its System F
+/// translation.
+#[derive(Debug, Clone)]
+pub struct Compiled {
+    /// The program's F_G type.
+    pub ty: RTy,
+    /// The dictionary-passing translation.
+    pub term: Term,
+    /// The elaborated surface program: the input with every implicit
+    /// instantiation made explicit. Running this on the direct
+    /// interpreter is equivalent to evaluating `term` on System F.
+    pub elaborated: Expr,
+}
+
+/// Typechecks a closed F_G program and translates it to System F.
+///
+/// # Errors
+///
+/// Returns the first [`CheckError`] encountered.
+///
+/// ```
+/// use fg::{check_program, parser::parse_expr};
+///
+/// let e = parse_expr(
+///     "concept Semigroup<t> { binary_op : fn(t, t) -> t; } in
+///      model Semigroup<int> { binary_op = iadd; } in
+///      Semigroup<int>.binary_op(20, 22)",
+/// ).unwrap();
+/// let compiled = check_program(&e)?;
+/// assert_eq!(system_f::eval(&compiled.term).unwrap(), system_f::Value::Int(42));
+/// # Ok::<(), fg::CheckError>(())
+/// ```
+pub fn check_program(e: &Expr) -> Result<Compiled, CheckError> {
+    // The checker recurses once per nested expression; library-sized
+    // programs (a prelude is a single deeply right-nested expression)
+    // exceed small default thread stacks. Shallow programs check inline;
+    // deep ones get a dedicated big-stack thread.
+    if !depth_exceeds(e, 40) {
+        let mut checker = Checker::new();
+        let (ty, term, elaborated) = checker.check_elab(e)?;
+        return Ok(Compiled {
+            ty,
+            term,
+            elaborated,
+        });
+    }
+    std::thread::scope(|scope| {
+        std::thread::Builder::new()
+            .name("fg-checker".to_owned())
+            .stack_size(64 * 1024 * 1024)
+            .spawn_scoped(scope, || {
+                let mut checker = Checker::new();
+                let (ty, term, elaborated) = checker.check_elab(e)?;
+                Ok(Compiled {
+                    ty,
+                    term,
+                    elaborated,
+                })
+            })
+            .expect("failed to spawn checker thread")
+            .join()
+            .expect("checker thread panicked")
+    })
+}
+
+/// Returns `true` if the expression tree is deeper than `limit`
+/// (iterative, early-exiting depth probe).
+fn depth_exceeds(e: &Expr, limit: usize) -> bool {
+    let mut stack: Vec<(&Expr, usize)> = vec![(e, 0)];
+    while let Some((e, d)) = stack.pop() {
+        if d > limit {
+            return true;
+        }
+        let d = d + 1;
+        match &e.kind {
+            ExprKind::Var(_)
+            | ExprKind::IntLit(_)
+            | ExprKind::BoolLit(_)
+            | ExprKind::Prim(_)
+            | ExprKind::MemberAccess { .. } => {}
+            ExprKind::App(f, args) => {
+                stack.push((f, d));
+                stack.extend(args.iter().map(|a| (a, d)));
+            }
+            ExprKind::Lam(_, b)
+            | ExprKind::TyAbs { body: b, .. }
+            | ExprKind::TyApp(b, _)
+            | ExprKind::Fix(_, _, b)
+            | ExprKind::TypeAlias(_, _, b) => stack.push((b, d)),
+            ExprKind::Let(_, a, b) => {
+                stack.push((a, d));
+                stack.push((b, d));
+            }
+            ExprKind::If(c, t, f) => {
+                stack.push((c, d));
+                stack.push((t, d));
+                stack.push((f, d));
+            }
+            ExprKind::Concept(decl, b) => {
+                for item in &decl.items {
+                    if let crate::ast::ConceptItem::Member {
+                        default: Some(def), ..
+                    } = item
+                    {
+                        stack.push((def, d));
+                    }
+                }
+                stack.push((b, d));
+            }
+            ExprKind::Model(decl, b) => {
+                for item in &decl.items {
+                    if let ModelItem::Member(_, me) = item {
+                        stack.push((me, d));
+                    }
+                }
+                stack.push((b, d));
+            }
+        }
+    }
+    false
+}
+
+/// A model in scope: where its dictionary lives in the translation, and
+/// what its associated types are assigned to.
+#[derive(Debug, Clone)]
+pub struct ModelEntry {
+    /// The modeled concept.
+    pub concept: ConceptId,
+    /// The type arguments at which it is modeled. For a parameterized
+    /// model these are *patterns* over `params`.
+    pub args: Vec<RTy>,
+    /// The dictionary variable in the translated program. For a
+    /// parameterized model it is bound to a dictionary *constructor*
+    /// (a `biglam`, possibly returning a function over constraint
+    /// dictionaries).
+    pub dict: Symbol,
+    /// Projection path from `dict` to this model's dictionary (empty for a
+    /// model's own declaration; non-empty for refinement sub-dictionaries).
+    pub path: Vec<usize>,
+    /// Associated-type assignments (assignments for declared models, the
+    /// projections themselves for where-clause proxies). Open in `params`
+    /// for parameterized models.
+    pub assoc: Vec<(Symbol, RTy)>,
+    /// `Some` while the model's dictionary is being constructed (checking
+    /// default bodies): member name → local `let` binding.
+    pub under_construction: Option<Vec<(Symbol, Symbol)>>,
+    /// Universally quantified parameters of a parameterized model (§6
+    /// extension); empty for ordinary models.
+    pub params: Vec<Symbol>,
+    /// The parameterized model's own where clause (constraints on
+    /// `params`), resolved; satisfied recursively at each use.
+    pub constraints: Vec<RConstraint>,
+}
+
+/// The outcome of resolving a model requirement `C<τ̄>` against the models
+/// in scope: a dictionary expression plus the instantiated associated-type
+/// assignments.
+#[derive(Debug, Clone)]
+pub struct ResolvedModel {
+    /// The dictionary expression in the translation (a variable plus `nth`
+    /// projections for ordinary models; a type/dictionary application of
+    /// the constructor for parameterized models).
+    pub term: Term,
+    /// Associated-type assignments, instantiated.
+    pub assoc: Vec<(Symbol, RTy)>,
+    /// Local member bindings if the model is still under construction.
+    pub under_construction: Option<Vec<(Symbol, Symbol)>>,
+    /// The modeled concept.
+    pub concept: ConceptId,
+}
+
+/// Bound on mutually recursive model resolution / type normalization
+/// (guards against pathological parameterized-model cycles such as
+/// `model forall t where C<list t>. C<t>`).
+const LOOKUP_DEPTH_LIMIT: usize = 32;
+
+/// A checkpoint of the checker's lexical environment.
+struct Saved {
+    vars: usize,
+    ty_vars: usize,
+    concept_names: usize,
+    models: usize,
+    teq: TypeEq,
+}
+
+/// Everything [`Checker::enter_where`] sets up for a constrained scope.
+struct WhereScope {
+    /// Fresh type binders, one per (deduplicated) associated type.
+    assoc_binders: Vec<Symbol>,
+    /// Fresh dictionary parameter names, one per concept constraint.
+    dict_names: Vec<Symbol>,
+    /// The System F types of those dictionaries.
+    dict_tys: Vec<system_f::Ty>,
+}
+
+/// The instantiation-independent shape of a where clause: which
+/// dictionaries it demands, which associated types it introduces (after
+/// diamond deduplication), and which equalities it asserts.
+struct WherePlan {
+    dicts: Vec<DictPlan>,
+    assoc_slots: Vec<AssocSlot>,
+    /// Same-type requirements inherited from the constrained concepts.
+    concept_equalities: Vec<(RTy, RTy)>,
+    /// Same-type constraints written in the where clause itself.
+    same_constraints: Vec<(RTy, RTy)>,
+}
+
+/// A dictionary's recursive shape: the concept, its arguments, and the
+/// sub-dictionaries for refinements and nested requirements.
+struct DictPlan {
+    concept: ConceptId,
+    concept_name: Symbol,
+    args: Vec<RTy>,
+    children: Vec<DictPlan>,
+}
+
+/// One associated type introduced by a where clause.
+struct AssocSlot {
+    concept: ConceptId,
+    concept_name: Symbol,
+    args: Vec<RTy>,
+    name: Symbol,
+}
+
+/// The F_G typechecker. See [`check_program`] for the one-shot API.
+#[derive(Debug, Clone, Default)]
+pub struct Checker {
+    /// All concepts declared so far (append-only).
+    pub concepts: ConceptTable,
+    vars: Vec<(Symbol, RTy)>,
+    /// Type names in scope: `None` for ordinary binders,
+    /// `Some(expansion)` for transparent type aliases.
+    ty_vars: Vec<(Symbol, Option<RTy>)>,
+    concept_names: Vec<(Symbol, ConceptId)>,
+    models: Vec<ModelEntry>,
+    teq: TypeEq,
+    /// While resolving a concept declaration's own items: its name, params
+    /// and associated types, so self-projections `C<t̄>.s` resolve to `s`.
+    current_concept: Option<(Symbol, Vec<Symbol>, Vec<Symbol>)>,
+    /// Re-entrancy counter shared by model resolution and normalization.
+    busy: usize,
+}
+
+impl Checker {
+    /// Creates a checker with an empty environment.
+    pub fn new() -> Checker {
+        Checker::default()
+    }
+
+    /// The models currently in scope (newest last). Exposed for tests and
+    /// tooling.
+    pub fn models(&self) -> &[ModelEntry] {
+        &self.models
+    }
+
+    fn save(&mut self) -> Saved {
+        Saved {
+            vars: self.vars.len(),
+            ty_vars: self.ty_vars.len(),
+            concept_names: self.concept_names.len(),
+            models: self.models.len(),
+            teq: self.teq.clone(),
+        }
+    }
+
+    fn restore(&mut self, saved: Saved) {
+        self.vars.truncate(saved.vars);
+        self.ty_vars.truncate(saved.ty_vars);
+        self.concept_names.truncate(saved.concept_names);
+        self.models.truncate(saved.models);
+        self.teq = saved.teq;
+    }
+
+    fn lookup_concept(&self, name: Symbol) -> Option<ConceptId> {
+        self.concept_names
+            .iter()
+            .rev()
+            .find(|(n, _)| *n == name)
+            .map(|(_, id)| *id)
+    }
+
+    fn err<T>(&self, kind: ErrorKind, span: Span) -> Result<T, CheckError> {
+        Err(CheckError::new(kind, span))
+    }
+
+    // ------------------------------------------------------------------
+    // Surface-type resolution
+    // ------------------------------------------------------------------
+
+    /// Resolves a surface type against the lexical environment.
+    pub fn resolve_ty(&mut self, ty: &FgTy, span: Span) -> Result<RTy, CheckError> {
+        match ty {
+            FgTy::Var(v) => {
+                // Innermost binding wins; type aliases expand transparently
+                // so they never escape their scope.
+                if let Some((_, expansion)) = self.ty_vars.iter().rev().find(|(n, _)| n == v) {
+                    return Ok(match expansion {
+                        Some(rhs) => rhs.clone(),
+                        None => RTy::Var(*v),
+                    });
+                }
+                if let Some((_, params, assoc)) = &self.current_concept {
+                    if params.contains(v) || assoc.contains(v) {
+                        return Ok(RTy::Var(*v));
+                    }
+                }
+                self.err(ErrorKind::UnboundTyVar(*v), span)
+            }
+            FgTy::Int => Ok(RTy::Int),
+            FgTy::Bool => Ok(RTy::Bool),
+            FgTy::List(t) => Ok(RTy::List(Box::new(self.resolve_ty(t, span)?))),
+            FgTy::Fn(ps, r) => {
+                let params = ps
+                    .iter()
+                    .map(|p| self.resolve_ty(p, span))
+                    .collect::<Result<Vec<_>, _>>()?;
+                let ret = self.resolve_ty(r, span)?;
+                Ok(RTy::Fn(params, Box::new(ret)))
+            }
+            FgTy::Forall {
+                vars,
+                constraints,
+                body,
+            } => {
+                distinct(vars, span)?;
+                let n = self.ty_vars.len();
+                self.ty_vars.extend(vars.iter().map(|v| (*v, None)));
+                let result = (|| {
+                    let rcs = constraints
+                        .iter()
+                        .map(|c| self.resolve_constraint(c, span))
+                        .collect::<Result<Vec<_>, _>>()?;
+                    let rbody = self.resolve_ty(body, span)?;
+                    Ok(RTy::Forall {
+                        vars: vars.clone(),
+                        constraints: rcs,
+                        body: Box::new(rbody),
+                    })
+                })();
+                self.ty_vars.truncate(n);
+                result
+            }
+            FgTy::Assoc {
+                concept,
+                args,
+                name,
+            } => {
+                // A self-projection `C<t̄>.s` inside C's own declaration
+                // denotes the bare associated type `s`.
+                if let Some((cname, params, assoc)) = self.current_concept.clone() {
+                    if cname == *concept {
+                        let param_args: Vec<FgTy> =
+                            params.iter().map(|p| FgTy::Var(*p)).collect();
+                        if *args == param_args && assoc.contains(name) {
+                            return Ok(RTy::Var(*name));
+                        }
+                    }
+                }
+                let cid = self
+                    .lookup_concept(*concept)
+                    .ok_or_else(|| CheckError::new(ErrorKind::UnknownConcept(*concept), span))?;
+                let info = self.concepts.get(cid).clone();
+                if info.params.len() != args.len() {
+                    return self.err(
+                        ErrorKind::ArityMismatch {
+                            what: format!("concept `{concept}`"),
+                            expected: info.params.len(),
+                            found: args.len(),
+                        },
+                        span,
+                    );
+                }
+                if !info.assoc_types.contains(name) {
+                    return self.err(
+                        ErrorKind::UnknownAssocType {
+                            concept: *concept,
+                            name: *name,
+                        },
+                        span,
+                    );
+                }
+                let rargs = args
+                    .iter()
+                    .map(|a| self.resolve_ty(a, span))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(RTy::Assoc {
+                    concept: cid,
+                    concept_name: *concept,
+                    args: rargs,
+                    name: *name,
+                })
+            }
+        }
+    }
+
+    fn resolve_constraint(
+        &mut self,
+        c: &Constraint,
+        span: Span,
+    ) -> Result<RConstraint, CheckError> {
+        match c {
+            Constraint::Model { concept, args } => {
+                let cid = self
+                    .lookup_concept(*concept)
+                    .ok_or_else(|| CheckError::new(ErrorKind::UnknownConcept(*concept), span))?;
+                let info_params = self.concepts.get(cid).params.len();
+                if info_params != args.len() {
+                    return self.err(
+                        ErrorKind::ArityMismatch {
+                            what: format!("concept `{concept}`"),
+                            expected: info_params,
+                            found: args.len(),
+                        },
+                        span,
+                    );
+                }
+                let rargs = args
+                    .iter()
+                    .map(|a| self.resolve_ty(a, span))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(RConstraint::Model {
+                    concept: cid,
+                    concept_name: *concept,
+                    args: rargs,
+                })
+            }
+            Constraint::SameTy(a, b) => Ok(RConstraint::SameTy(
+                self.resolve_ty(a, span)?,
+                self.resolve_ty(b, span)?,
+            )),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Concept instantiation helpers (the paper's ba / b / bm functions)
+    // ------------------------------------------------------------------
+
+    /// The substitution mapping a concept's parameters to `args` and its
+    /// associated-type names to the projections `C<args>.s` (the paper's
+    /// `ba` map composed with the parameter substitution).
+    fn instantiation_subst(&self, info: &ConceptInfo, args: &[RTy]) -> HashMap<Symbol, RTy> {
+        let mut map: HashMap<Symbol, RTy> = info
+            .params
+            .iter()
+            .copied()
+            .zip(args.iter().cloned())
+            .collect();
+        for &s in &info.assoc_types {
+            map.insert(
+                s,
+                RTy::Assoc {
+                    concept: info.id,
+                    concept_name: info.name,
+                    args: args.to_vec(),
+                    name: s,
+                },
+            );
+        }
+        map
+    }
+
+    /// Computes the instantiation-independent plan of a where clause:
+    /// dictionary shapes, deduplicated associated-type slots (diamond
+    /// refinements yield a single slot, §5.2), and inherited equalities.
+    fn where_plan(&mut self, constraints: &[RConstraint]) -> WherePlan {
+        let mut plan = WherePlan {
+            dicts: Vec::new(),
+            assoc_slots: Vec::new(),
+            concept_equalities: Vec::new(),
+            same_constraints: Vec::new(),
+        };
+        let mut seen: Vec<(ConceptId, Vec<RTy>)> = Vec::new();
+        for c in constraints {
+            match c {
+                RConstraint::Model {
+                    concept,
+                    concept_name,
+                    args,
+                } => {
+                    self.visit_concept(*concept, *concept_name, args, &mut plan, &mut seen);
+                    plan.dicts.push(self.build_dict_plan(*concept, *concept_name, args));
+                }
+                RConstraint::SameTy(a, b) => {
+                    plan.same_constraints.push((a.clone(), b.clone()));
+                }
+            }
+        }
+        plan
+    }
+
+    /// Depth-first discovery of associated types and equalities, skipping
+    /// concept/argument pairs that were already processed.
+    fn visit_concept(
+        &mut self,
+        cid: ConceptId,
+        cname: Symbol,
+        args: &[RTy],
+        plan: &mut WherePlan,
+        seen: &mut Vec<(ConceptId, Vec<RTy>)>,
+    ) {
+        if seen.iter().any(|(c, a)| *c == cid && a == args) {
+            return;
+        }
+        seen.push((cid, args.to_vec()));
+        let info = self.concepts.get(cid).clone();
+        let s = self.instantiation_subst(&info, args);
+        for &a in &info.assoc_types {
+            plan.assoc_slots.push(AssocSlot {
+                concept: cid,
+                concept_name: cname,
+                args: args.to_vec(),
+                name: a,
+            });
+        }
+        for (lhs, rhs) in &info.same {
+            plan.concept_equalities
+                .push((subst(lhs, &s), subst(rhs, &s)));
+        }
+        for (rc, rargs) in info.refines.iter().chain(&info.requires) {
+            let inst_args: Vec<RTy> = rargs.iter().map(|a| subst(a, &s)).collect();
+            let rname = self.concepts.name(*rc);
+            self.visit_concept(*rc, rname, &inst_args, plan, seen);
+        }
+    }
+
+    /// Pure structural recursion building a dictionary's shape (no
+    /// deduplication: diamonds duplicate sub-dictionaries, as in the
+    /// paper's nested-tuple representation).
+    fn build_dict_plan(&self, cid: ConceptId, cname: Symbol, args: &[RTy]) -> DictPlan {
+        let info = self.concepts.get(cid).clone();
+        let s = self.instantiation_subst(&info, args);
+        let children = info
+            .refines
+            .iter()
+            .chain(&info.requires)
+            .map(|(rc, rargs)| {
+                let inst_args: Vec<RTy> = rargs.iter().map(|a| subst(a, &s)).collect();
+                self.build_dict_plan(*rc, self.concepts.name(*rc), &inst_args)
+            })
+            .collect();
+        DictPlan {
+            concept: cid,
+            concept_name: cname,
+            args: args.to_vec(),
+            children,
+        }
+    }
+
+    /// The System F type of a dictionary for `plan` under the current
+    /// equality state: sub-dictionary types followed by translated member
+    /// types (with the concept's parameters and associated types
+    /// instantiated).
+    fn dict_ty(&mut self, plan: &DictPlan, span: Span) -> Result<system_f::Ty, CheckError> {
+        let info = self.concepts.get(plan.concept).clone();
+        let s = self.instantiation_subst(&info, &plan.args);
+        let mut items = Vec::new();
+        for child in &plan.children {
+            items.push(self.dict_ty(child, span)?);
+        }
+        for m in &info.members {
+            let mty = subst(&m.ty, &s);
+            items.push(self.tr_ty(&mty, span)?);
+        }
+        Ok(system_f::Ty::Tuple(items))
+    }
+
+    /// Enters a where-clause scope: binds the type variables' associated
+    /// types to fresh binders, asserts all equalities, and (optionally)
+    /// registers proxy model entries for the translation of the body.
+    fn enter_where(
+        &mut self,
+        constraints: &[RConstraint],
+        register_models: bool,
+        span: Span,
+    ) -> Result<WhereScope, CheckError> {
+        let plan = self.where_plan(constraints);
+        let mut assoc_binders = Vec::with_capacity(plan.assoc_slots.len());
+        for slot in &plan.assoc_slots {
+            let fresh = Symbol::fresh(slot.name.as_str());
+            self.ty_vars.push((fresh, None));
+            assoc_binders.push(fresh);
+            let proj = RTy::Assoc {
+                concept: slot.concept,
+                concept_name: slot.concept_name,
+                args: slot.args.clone(),
+                name: slot.name,
+            };
+            self.teq.assert_eq(&RTy::Var(fresh), &proj);
+        }
+        for (a, b) in plan
+            .concept_equalities
+            .iter()
+            .chain(&plan.same_constraints)
+        {
+            self.teq.assert_eq(a, b);
+        }
+        let mut dict_names = Vec::with_capacity(plan.dicts.len());
+        let mut dict_tys = Vec::with_capacity(plan.dicts.len());
+        for dict in &plan.dicts {
+            let name = Symbol::fresh(dict.concept_name.as_str());
+            if register_models {
+                self.register_proxy(dict, name, Vec::new());
+            }
+            dict_names.push(name);
+            dict_tys.push(self.dict_ty(dict, span)?);
+        }
+        Ok(WhereScope {
+            assoc_binders,
+            dict_names,
+            dict_tys,
+        })
+    }
+
+    /// Registers proxy model entries for a dictionary and (recursively) its
+    /// refinement/requirement sub-dictionaries, mirroring the paper's `bm`.
+    fn register_proxy(&mut self, plan: &DictPlan, dict: Symbol, path: Vec<usize>) {
+        let info = self.concepts.get(plan.concept).clone();
+        let s = self.instantiation_subst(&info, &plan.args);
+        let assoc = info
+            .assoc_types
+            .iter()
+            .map(|&a| (a, s[&a].clone()))
+            .collect();
+        self.models.push(ModelEntry {
+            concept: plan.concept,
+            args: plan.args.clone(),
+            dict,
+            path: path.clone(),
+            assoc,
+            under_construction: None,
+            params: Vec::new(),
+            constraints: Vec::new(),
+        });
+        for (i, child) in plan.children.iter().enumerate() {
+            let mut child_path = path.clone();
+            child_path.push(i);
+            self.register_proxy(child, dict, child_path);
+        }
+    }
+
+    /// Semantic type equality: syntactic equality, declared same-type
+    /// equalities (congruence closure), and associated-type normalization
+    /// through parameterized models.
+    pub fn types_equal(&mut self, a: &RTy, b: &RTy) -> bool {
+        if a == b {
+            return true;
+        }
+        let na = self.norm(a);
+        let nb = self.norm(b);
+        na == nb || self.teq.eq(&na, &nb)
+    }
+
+    /// Rewrites associated-type projections that are resolvable through
+    /// *parameterized* models (ordinary models assert equalities into the
+    /// congruence instead, so `TypeEq` handles them).
+    fn norm(&mut self, ty: &RTy) -> RTy {
+        // Fast path: only associated-type projections can be rewritten.
+        if !ty.has_assoc() {
+            return ty.clone();
+        }
+        if self.busy > LOOKUP_DEPTH_LIMIT {
+            return ty.clone();
+        }
+        self.busy += 1;
+        let out = self.norm_inner(ty);
+        self.busy -= 1;
+        out
+    }
+
+    fn norm_inner(&mut self, ty: &RTy) -> RTy {
+        match ty {
+            RTy::Var(_) | RTy::Int | RTy::Bool => ty.clone(),
+            RTy::List(t) => RTy::List(Box::new(self.norm(t))),
+            RTy::Fn(ps, r) => RTy::Fn(
+                ps.iter().map(|p| self.norm(p)).collect(),
+                Box::new(self.norm(r)),
+            ),
+            RTy::Forall {
+                vars,
+                constraints,
+                body,
+            } => RTy::Forall {
+                vars: vars.clone(),
+                constraints: constraints.clone(),
+                body: Box::new(self.norm(body)),
+            },
+            RTy::Assoc {
+                concept,
+                concept_name,
+                args,
+                name,
+            } => {
+                let nargs: Vec<RTy> = args.iter().map(|a| self.norm(a)).collect();
+                if let Some(assignment) =
+                    self.param_assoc_assignment(*concept, &nargs, *name)
+                {
+                    return self.norm(&assignment);
+                }
+                RTy::Assoc {
+                    concept: *concept,
+                    concept_name: *concept_name,
+                    args: nargs,
+                    name: *name,
+                }
+            }
+        }
+    }
+
+    /// If a *parameterized* model in scope matches `C<args>`, returns its
+    /// assignment for associated type `name`.
+    fn param_assoc_assignment(
+        &mut self,
+        cid: ConceptId,
+        args: &[RTy],
+        name: Symbol,
+    ) -> Option<RTy> {
+        for i in (0..self.models.len()).rev() {
+            let entry = self.models[i].clone();
+            if entry.concept != cid
+                || entry.args.len() != args.len()
+                || entry.params.is_empty()
+                || entry.under_construction.is_some()
+            {
+                continue;
+            }
+            let Some(sigma) = self.match_entry(&entry, args) else {
+                continue;
+            };
+            // Constraints must be satisfiable for the match to count.
+            if !self.param_constraints_hold(&entry, &sigma) {
+                continue;
+            }
+            if let Some((_, t)) = entry.assoc.iter().find(|(n, _)| *n == name) {
+                return Some(subst(t, &sigma));
+            }
+        }
+        None
+    }
+
+    fn param_constraints_hold(
+        &mut self,
+        entry: &ModelEntry,
+        sigma: &HashMap<Symbol, RTy>,
+    ) -> bool {
+        for c in entry.constraints.clone() {
+            match c {
+                RConstraint::Model { concept, args, .. } => {
+                    let inst: Vec<RTy> = args.iter().map(|a| subst(a, sigma)).collect();
+                    if self.resolve_model(concept, &inst, false).is_none() {
+                        return false;
+                    }
+                }
+                RConstraint::SameTy(a, b) => {
+                    let (ia, ib) = (subst(&a, sigma), subst(&b, sigma));
+                    if !self.types_equal(&ia, &ib) {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Matches a model entry's argument patterns against concrete
+    /// arguments, producing the parameter substitution.
+    fn match_entry(
+        &mut self,
+        entry: &ModelEntry,
+        args: &[RTy],
+    ) -> Option<HashMap<Symbol, RTy>> {
+        let mut sigma = HashMap::new();
+        for (pat, tgt) in entry.args.iter().zip(args) {
+            if !self.match_ty(pat, tgt, &entry.params, &mut sigma) {
+                return None;
+            }
+        }
+        if entry.params.iter().all(|p| sigma.contains_key(p)) {
+            Some(sigma)
+        } else {
+            None
+        }
+    }
+
+    /// One-way matching of a pattern (open in `params`) against a target
+    /// type, modulo declared equalities on the target side.
+    fn match_ty(
+        &mut self,
+        pat: &RTy,
+        tgt: &RTy,
+        params: &[Symbol],
+        sigma: &mut HashMap<Symbol, RTy>,
+    ) -> bool {
+        if let RTy::Var(p) = pat {
+            if params.contains(p) {
+                if let Some(bound) = sigma.get(p).cloned() {
+                    return self.types_equal(&bound, tgt);
+                }
+                sigma.insert(*p, tgt.clone());
+                return true;
+            }
+        }
+        let snapshot = sigma.clone();
+        if self.match_structural(pat, tgt, params, sigma) {
+            return true;
+        }
+        // Retry through the target's equivalence class (e.g. a type
+        // variable declared equal to `list int` matching pattern `list t`).
+        for m in self.teq.class_members(tgt) {
+            if m == *tgt {
+                continue;
+            }
+            *sigma = snapshot.clone();
+            if self.match_structural(pat, &m, params, sigma) {
+                return true;
+            }
+        }
+        *sigma = snapshot;
+        false
+    }
+
+    fn match_structural(
+        &mut self,
+        pat: &RTy,
+        tgt: &RTy,
+        params: &[Symbol],
+        sigma: &mut HashMap<Symbol, RTy>,
+    ) -> bool {
+        match (pat, tgt) {
+            (RTy::Int, RTy::Int) | (RTy::Bool, RTy::Bool) => true,
+            (RTy::Var(a), RTy::Var(b)) => a == b,
+            (RTy::List(x), RTy::List(y)) => self.match_ty(x, y, params, sigma),
+            (RTy::Fn(ps, r), RTy::Fn(qs, s)) => {
+                ps.len() == qs.len()
+                    && ps
+                        .iter()
+                        .zip(qs)
+                        .all(|(p, q)| self.match_ty(p, q, params, sigma))
+                    && self.match_ty(r, s, params, sigma)
+            }
+            (
+                RTy::Assoc {
+                    concept: ca,
+                    args: aa,
+                    name: na,
+                    ..
+                },
+                RTy::Assoc {
+                    concept: cb,
+                    args: ab,
+                    name: nb,
+                    ..
+                },
+            ) => {
+                ca == cb
+                    && na == nb
+                    && aa.len() == ab.len()
+                    && aa
+                        .iter()
+                        .zip(ab)
+                        .all(|(x, y)| self.match_ty(x, y, params, sigma))
+            }
+            (RTy::Forall { .. }, _) => {
+                // Quantified patterns only match when closed w.r.t. the
+                // parameters (no higher-order matching).
+                let fvs = pat.free_vars();
+                if fvs.iter().any(|v| params.contains(v)) {
+                    return false;
+                }
+                self.types_equal(pat, tgt)
+            }
+            _ => false,
+        }
+    }
+
+    /// Resolves a model requirement `C<args>` against the models in scope
+    /// (newest first). Ordinary models match via type equality; a
+    /// parameterized model matches if its patterns match and its own
+    /// constraints resolve recursively. Under-construction entries are
+    /// only returned when `allow_uc`.
+    pub fn resolve_model(
+        &mut self,
+        cid: ConceptId,
+        args: &[RTy],
+        allow_uc: bool,
+    ) -> Option<ResolvedModel> {
+        if self.busy > LOOKUP_DEPTH_LIMIT {
+            return None;
+        }
+        self.busy += 1;
+        let out = self.resolve_model_inner(cid, args, allow_uc);
+        self.busy -= 1;
+        out
+    }
+
+    fn resolve_model_inner(
+        &mut self,
+        cid: ConceptId,
+        args: &[RTy],
+        allow_uc: bool,
+    ) -> Option<ResolvedModel> {
+        let nargs: Vec<RTy> = args.iter().map(|a| self.norm(a)).collect();
+        for i in (0..self.models.len()).rev() {
+            let entry = self.models[i].clone();
+            if entry.concept != cid || entry.args.len() != nargs.len() {
+                continue;
+            }
+            if entry.under_construction.is_some() && !allow_uc {
+                continue;
+            }
+            if entry.params.is_empty() {
+                let matches = entry
+                    .args
+                    .iter()
+                    .zip(&nargs)
+                    .all(|(a, b)| self.types_equal(a, b));
+                if !matches {
+                    continue;
+                }
+                let mut term = Term::Var(entry.dict);
+                for &k in &entry.path {
+                    term = Term::nth(term, k);
+                }
+                return Some(ResolvedModel {
+                    term,
+                    assoc: entry.assoc.clone(),
+                    under_construction: entry.under_construction.clone(),
+                    concept: cid,
+                });
+            }
+            // Parameterized model.
+            let Some(sigma) = self.match_entry(&entry, &nargs) else {
+                continue;
+            };
+            let plan = self.where_plan(&entry.constraints);
+            let mut dict_terms = Vec::with_capacity(plan.dicts.len());
+            let mut ok = true;
+            for dict in &plan.dicts {
+                let inst: Vec<RTy> = dict.args.iter().map(|a| subst(a, &sigma)).collect();
+                match self.resolve_model(dict.concept, &inst, false) {
+                    Some(rm) if rm.under_construction.is_none() => dict_terms.push(rm.term),
+                    _ => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if ok {
+                for (a, b) in &plan.same_constraints {
+                    let (ia, ib) = (subst(a, &sigma), subst(b, &sigma));
+                    if !self.types_equal(&ia, &ib) {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if !ok {
+                continue;
+            }
+            if let Some(locals) = entry.under_construction.clone() {
+                return Some(ResolvedModel {
+                    term: Term::Var(entry.dict),
+                    assoc: entry
+                        .assoc
+                        .iter()
+                        .map(|(n, t)| (*n, subst(t, &sigma)))
+                        .collect(),
+                    under_construction: Some(locals),
+                    concept: cid,
+                });
+            }
+            // Instantiate the dictionary constructor: type arguments are
+            // the matched parameters followed by the associated types of
+            // the constraint plan, in the same order the declaration's
+            // translation bound them.
+            let span = Span::default();
+            let mut ty_args = Vec::with_capacity(entry.params.len() + plan.assoc_slots.len());
+            let mut translatable = true;
+            for p in &entry.params {
+                match self.tr_ty(&sigma[p], span) {
+                    Ok(t) => ty_args.push(t),
+                    Err(_) => {
+                        translatable = false;
+                        break;
+                    }
+                }
+            }
+            if translatable {
+                for slot in &plan.assoc_slots {
+                    let proj = RTy::Assoc {
+                        concept: slot.concept,
+                        concept_name: slot.concept_name,
+                        args: slot.args.iter().map(|a| subst(a, &sigma)).collect(),
+                        name: slot.name,
+                    };
+                    match self.tr_ty(&proj, span) {
+                        Ok(t) => ty_args.push(t),
+                        Err(_) => {
+                            translatable = false;
+                            break;
+                        }
+                    }
+                }
+            }
+            if !translatable {
+                continue;
+            }
+            let mut term = Term::TyApp(Box::new(Term::Var(entry.dict)), ty_args);
+            if !dict_terms.is_empty() {
+                term = Term::App(Box::new(term), dict_terms);
+            }
+            let assoc = entry
+                .assoc
+                .iter()
+                .map(|(n, t)| (*n, subst(t, &sigma)))
+                .collect();
+            return Some(ResolvedModel {
+                term,
+                assoc,
+                under_construction: None,
+                concept: cid,
+            });
+        }
+        None
+    }
+
+    // ------------------------------------------------------------------
+    // Type translation to System F (Figures 8 and 12)
+    // ------------------------------------------------------------------
+
+    /// Translates an F_G type to System F, mapping every type to the
+    /// representative of its same-type equivalence class.
+    pub fn tr_ty(&mut self, ty: &RTy, span: Span) -> Result<system_f::Ty, CheckError> {
+        let normed = self.norm(ty);
+        let resolved = self.teq.resolve(&normed);
+        self.tr_resolved(&resolved, span)
+    }
+
+    fn tr_resolved(&mut self, ty: &RTy, span: Span) -> Result<system_f::Ty, CheckError> {
+        match ty {
+            RTy::Var(v) => Ok(system_f::Ty::Var(*v)),
+            RTy::Int => Ok(system_f::Ty::Int),
+            RTy::Bool => Ok(system_f::Ty::Bool),
+            RTy::List(t) => Ok(system_f::Ty::List(Box::new(self.tr_resolved(t, span)?))),
+            RTy::Fn(ps, r) => Ok(system_f::Ty::Fn(
+                ps.iter()
+                    .map(|p| self.tr_resolved(p, span))
+                    .collect::<Result<Vec<_>, _>>()?,
+                Box::new(self.tr_resolved(r, span)?),
+            )),
+            RTy::Assoc { .. } => {
+                // `resolve` found no better representative: no model (or
+                // proxy) assignment for this projection is in scope.
+                self.err(ErrorKind::CannotResolveAssoc(ty.clone()), span)
+            }
+            RTy::Forall {
+                vars,
+                constraints,
+                body,
+            } => {
+                let saved = self.save();
+                let result = (|| {
+                    self.ty_vars.extend(vars.iter().map(|v| (*v, None)));
+                    let scope = self.enter_where(constraints, false, span)?;
+                    let body_ty = self.tr_ty(body, span)?;
+                    let mut binders = vars.clone();
+                    binders.extend(scope.assoc_binders.iter().copied());
+                    let inner = if scope.dict_tys.is_empty() {
+                        body_ty
+                    } else {
+                        system_f::Ty::Fn(scope.dict_tys, Box::new(body_ty))
+                    };
+                    Ok(system_f::Ty::Forall(binders, Box::new(inner)))
+                })();
+                self.restore(saved);
+                result
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Member access (the paper's b function / MEM rule)
+    // ------------------------------------------------------------------
+
+    /// Looks up `member` in concept `cid` instantiated at `args`, searching
+    /// the concept's own members first, then refinements depth-first.
+    /// Returns the member's instantiated type and the projection path
+    /// relative to the concept's dictionary.
+    fn find_member(
+        &mut self,
+        cid: ConceptId,
+        args: &[RTy],
+        member: Symbol,
+    ) -> Option<(RTy, Vec<usize>)> {
+        let info = self.concepts.get(cid).clone();
+        let s = self.instantiation_subst(&info, args);
+        if let Some((idx, m)) = info.member(member) {
+            let ty = subst(&m.ty, &s);
+            return Some((ty, vec![info.member_slot_base() + idx]));
+        }
+        for (i, (rc, rargs)) in info.refines.iter().enumerate() {
+            let inst_args: Vec<RTy> = rargs.iter().map(|a| subst(a, &s)).collect();
+            if let Some((ty, mut path)) = self.find_member(*rc, &inst_args, member) {
+                path.insert(0, i);
+                return Some((ty, path));
+            }
+        }
+        None
+    }
+
+    /// Checks and translates a member access `C<τ̄>.x`.
+    fn access_member(
+        &mut self,
+        cid: ConceptId,
+        cname: Symbol,
+        args: &[RTy],
+        member: Symbol,
+        span: Span,
+    ) -> Result<(RTy, Term), CheckError> {
+        let Some(resolved) = self.resolve_model(cid, args, true) else {
+            return self.err(
+                ErrorKind::NoModel {
+                    concept: cname,
+                    args: args.to_vec(),
+                },
+                span,
+            );
+        };
+        let Some((ty, relpath)) = self.find_member(cid, args, member) else {
+            return self.err(
+                ErrorKind::UnknownMember {
+                    concept: cname,
+                    member,
+                },
+                span,
+            );
+        };
+        if let Some(locals) = &resolved.under_construction {
+            let info = self.concepts.get(cid).clone();
+            if info.member(member).is_some() {
+                // Own member: must already have a local binding.
+                let Some((_, local)) = locals.iter().find(|(m, _)| *m == member) else {
+                    return self.err(
+                        ErrorKind::DefaultUsesLaterMember {
+                            concept: cname,
+                            member,
+                        },
+                        span,
+                    );
+                };
+                return Ok((ty, Term::Var(*local)));
+            }
+            // Inherited member: access it through the refined concept's own
+            // (complete) model instead of the dictionary being built.
+            let s = self.instantiation_subst(&info, args);
+            for (rc, rargs) in info.refines.clone() {
+                let inst_args: Vec<RTy> = rargs.iter().map(|a| subst(a, &s)).collect();
+                if self.find_member(rc, &inst_args, member).is_some() {
+                    let rname = self.concepts.name(rc);
+                    return self.access_member(rc, rname, &inst_args, member, span);
+                }
+            }
+            return self.err(
+                ErrorKind::UnknownMember {
+                    concept: cname,
+                    member,
+                },
+                span,
+            );
+        }
+        let mut term = resolved.term;
+        for &i in &relpath {
+            term = Term::nth(term, i);
+        }
+        Ok((ty, term))
+    }
+
+    // ------------------------------------------------------------------
+    // Expression checking (Figures 9 and 13)
+    // ------------------------------------------------------------------
+
+    /// Checks an expression, returning its type and translation.
+    pub fn check(&mut self, e: &Expr) -> Result<(RTy, Term), CheckError> {
+        let (ty, term, _) = self.check_elab(e)?;
+        Ok((ty, term))
+    }
+
+    /// Checks an expression, returning its type, its System F translation,
+    /// and the *elaborated* surface expression — the input with implicit
+    /// instantiations made explicit (every inferred `e[τ̄]` inserted), so
+    /// the direct interpreter can execute exactly what was typechecked.
+    pub fn check_elab(&mut self, e: &Expr) -> Result<(RTy, Term, Expr), CheckError> {
+        let span = e.span;
+        match &e.kind {
+            ExprKind::Var(x) => {
+                let ty = self
+                    .vars
+                    .iter()
+                    .rev()
+                    .find(|(n, _)| n == x)
+                    .map(|(_, t)| t.clone())
+                    .ok_or_else(|| CheckError::new(ErrorKind::UnboundVar(*x), span))?;
+                Ok((ty, Term::Var(*x), e.clone()))
+            }
+            ExprKind::IntLit(n) => Ok((RTy::Int, Term::IntLit(*n), e.clone())),
+            ExprKind::BoolLit(b) => Ok((RTy::Bool, Term::BoolLit(*b), e.clone())),
+            ExprKind::Prim(p) => Ok((prim_rty(*p), Term::Prim(*p), e.clone())),
+            ExprKind::App(f, args) => {
+                let (fty, fterm, felab) = self.check_elab(f)?;
+                if let Some((params, ret)) = self.as_fn(&fty) {
+                    // Ordinary application.
+                    if params.len() != args.len() {
+                        return self.err(
+                            ErrorKind::ArityMismatch {
+                                what: "function".to_owned(),
+                                expected: params.len(),
+                                found: args.len(),
+                            },
+                            span,
+                        );
+                    }
+                    let mut arg_terms = Vec::with_capacity(args.len());
+                    let mut arg_elabs = Vec::with_capacity(args.len());
+                    for (param, arg) in params.iter().zip(args) {
+                        let (aty, aterm, aelab) = self.check_elab(arg)?;
+                        if !self.types_equal(param, &aty) {
+                            return self.err(
+                                ErrorKind::ArgMismatch {
+                                    expected: param.clone(),
+                                    found: aty,
+                                },
+                                arg.span,
+                            );
+                        }
+                        arg_terms.push(aterm);
+                        arg_elabs.push(aelab);
+                    }
+                    return Ok((
+                        ret,
+                        Term::App(Box::new(fterm), arg_terms),
+                        Expr::spanned(
+                            ExprKind::App(Box::new(felab), arg_elabs),
+                            span,
+                        ),
+                    ));
+                }
+                // §6 implicit instantiation: a polymorphic function applied
+                // directly to value arguments — infer monomorphic type
+                // arguments by matching the parameter types against the
+                // argument types (Odersky–Läufer restriction [46]).
+                let Some((vars, constraints, body)) = self.as_forall(&fty) else {
+                    return self.err(ErrorKind::NotAFunction(fty), span);
+                };
+                let Some((params, _)) = self.as_fn(&body) else {
+                    return self.err(ErrorKind::NotAFunction(fty), span);
+                };
+                if params.len() != args.len() {
+                    return self.err(
+                        ErrorKind::ArityMismatch {
+                            what: "function".to_owned(),
+                            expected: params.len(),
+                            found: args.len(),
+                        },
+                        span,
+                    );
+                }
+                let mut arg_tys = Vec::with_capacity(args.len());
+                let mut arg_terms = Vec::with_capacity(args.len());
+                let mut arg_elabs = Vec::with_capacity(args.len());
+                for arg in args {
+                    let (aty, aterm, aelab) = self.check_elab(arg)?;
+                    arg_tys.push(aty);
+                    arg_terms.push(aterm);
+                    arg_elabs.push(aelab);
+                }
+                let mut sigma: HashMap<Symbol, RTy> = HashMap::new();
+                for (param, aty) in params.iter().zip(&arg_tys) {
+                    // Best-effort matching; the instantiated signature is
+                    // re-verified below, so partial matches are safe.
+                    let _ = self.match_ty(param, aty, &vars, &mut sigma);
+                }
+                let unbound: Vec<Symbol> = vars
+                    .iter()
+                    .copied()
+                    .filter(|v| !sigma.contains_key(v))
+                    .collect();
+                if !unbound.is_empty() {
+                    return self.err(
+                        ErrorKind::CannotInferTypeArgs { vars: unbound },
+                        span,
+                    );
+                }
+                let rargs: Vec<RTy> = vars.iter().map(|v| sigma[v].clone()).collect();
+                let (ity, iterm) =
+                    self.instantiate(fterm, &vars, &constraints, &body, &rargs, span)?;
+                let Some((iparams, iret)) = self.as_fn(&ity) else {
+                    return self.err(ErrorKind::NotAFunction(ity), span);
+                };
+                for ((iparam, aty), arg) in iparams.iter().zip(&arg_tys).zip(args) {
+                    if !self.types_equal(iparam, aty) {
+                        return self.err(
+                            ErrorKind::ArgMismatch {
+                                expected: iparam.clone(),
+                                found: aty.clone(),
+                            },
+                            arg.span,
+                        );
+                    }
+                }
+                let surface_args: Vec<FgTy> =
+                    rargs.iter().map(|t| self.rty_to_surface(t)).collect();
+                let felab = Expr::spanned(
+                    ExprKind::TyApp(Box::new(felab), surface_args),
+                    span,
+                );
+                Ok((
+                    iret,
+                    Term::App(Box::new(iterm), arg_terms),
+                    Expr::spanned(ExprKind::App(Box::new(felab), arg_elabs), span),
+                ))
+            }
+            ExprKind::Lam(params, body) => {
+                distinct(
+                    &params.iter().map(|(n, _)| *n).collect::<Vec<_>>(),
+                    span,
+                )?;
+                let mut rparams = Vec::with_capacity(params.len());
+                let mut sf_params = Vec::with_capacity(params.len());
+                for (x, t) in params {
+                    let rt = self.resolve_ty(t, span)?;
+                    sf_params.push((*x, self.tr_ty(&rt, span)?));
+                    rparams.push((*x, rt));
+                }
+                let n = self.vars.len();
+                self.vars.extend(rparams.iter().cloned());
+                let result = self.check_elab(body);
+                self.vars.truncate(n);
+                let (bty, bterm, belab) = result?;
+                Ok((
+                    RTy::Fn(
+                        rparams.into_iter().map(|(_, t)| t).collect(),
+                        Box::new(bty),
+                    ),
+                    Term::Lam(sf_params, Box::new(bterm)),
+                    Expr::spanned(
+                        ExprKind::Lam(params.clone(), Box::new(belab)),
+                        span,
+                    ),
+                ))
+            }
+            ExprKind::TyAbs {
+                vars,
+                constraints,
+                body,
+            } => {
+                distinct(vars, span)?;
+                let saved = self.save();
+                let result = (|| {
+                    self.ty_vars.extend(vars.iter().map(|v| (*v, None)));
+                    let rcs = constraints
+                        .iter()
+                        .map(|c| self.resolve_constraint(c, span))
+                        .collect::<Result<Vec<_>, _>>()?;
+                    let scope = self.enter_where(&rcs, true, span)?;
+                    let (bty, bterm, belab) = self.check_elab(body)?;
+                    let mut binders = vars.clone();
+                    binders.extend(scope.assoc_binders.iter().copied());
+                    let inner = if scope.dict_names.is_empty() {
+                        bterm
+                    } else {
+                        Term::Lam(
+                            scope
+                                .dict_names
+                                .iter()
+                                .copied()
+                                .zip(scope.dict_tys.iter().cloned())
+                                .collect(),
+                            Box::new(bterm),
+                        )
+                    };
+                    Ok((
+                        RTy::Forall {
+                            vars: vars.clone(),
+                            constraints: rcs,
+                            body: Box::new(bty),
+                        },
+                        Term::TyAbs(binders, Box::new(inner)),
+                        Expr::spanned(
+                            ExprKind::TyAbs {
+                                vars: vars.clone(),
+                                constraints: constraints.clone(),
+                                body: Box::new(belab),
+                            },
+                            span,
+                        ),
+                    ))
+                })();
+                self.restore(saved);
+                result
+            }
+            ExprKind::TyApp(f, args) => {
+                let (fty, fterm, felab) = self.check_elab(f)?;
+                let Some((vars, constraints, body)) = self.as_forall(&fty) else {
+                    return self.err(ErrorKind::NotAForall(fty), span);
+                };
+                if vars.len() != args.len() {
+                    return self.err(
+                        ErrorKind::ArityMismatch {
+                            what: "polymorphic term".to_owned(),
+                            expected: vars.len(),
+                            found: args.len(),
+                        },
+                        span,
+                    );
+                }
+                let rargs = args
+                    .iter()
+                    .map(|a| self.resolve_ty(a, span))
+                    .collect::<Result<Vec<_>, _>>()?;
+                let (ty, term) =
+                    self.instantiate(fterm, &vars, &constraints, &body, &rargs, span)?;
+                Ok((
+                    ty,
+                    term,
+                    Expr::spanned(
+                        ExprKind::TyApp(Box::new(felab), args.clone()),
+                        span,
+                    ),
+                ))
+            }
+            ExprKind::Let(x, bound, body) => {
+                let (bty, bterm, belab) = self.check_elab(bound)?;
+                self.vars.push((*x, bty));
+                let result = self.check_elab(body);
+                self.vars.pop();
+                let (ty, term, body_elab) = result?;
+                Ok((
+                    ty,
+                    Term::let_(*x, bterm, term),
+                    Expr::spanned(
+                        ExprKind::Let(*x, Box::new(belab), Box::new(body_elab)),
+                        span,
+                    ),
+                ))
+            }
+            ExprKind::If(c, t, f) => {
+                let (cty, cterm, celab) = self.check_elab(c)?;
+                if !self.types_equal(&cty, &RTy::Bool) {
+                    return self.err(ErrorKind::CondNotBool(cty), c.span);
+                }
+                let (tty, tterm, telab) = self.check_elab(t)?;
+                let (fty, fterm, felab) = self.check_elab(f)?;
+                if !self.types_equal(&tty, &fty) {
+                    return self.err(ErrorKind::BranchMismatch(tty, fty), span);
+                }
+                Ok((
+                    tty,
+                    Term::if_(cterm, tterm, fterm),
+                    Expr::spanned(
+                        ExprKind::If(Box::new(celab), Box::new(telab), Box::new(felab)),
+                        span,
+                    ),
+                ))
+            }
+            ExprKind::Fix(x, ty, body) => {
+                let rty = self.resolve_ty(ty, span)?;
+                self.vars.push((*x, rty.clone()));
+                let result = self.check_elab(body);
+                self.vars.pop();
+                let (bty, bterm, belab) = result?;
+                if !self.types_equal(&bty, &rty) {
+                    return self.err(
+                        ErrorKind::FixMismatch {
+                            annotated: rty,
+                            found: bty,
+                        },
+                        span,
+                    );
+                }
+                let sf_ty = self.tr_ty(&rty, span)?;
+                Ok((
+                    rty,
+                    Term::Fix(*x, sf_ty, Box::new(bterm)),
+                    Expr::spanned(
+                        ExprKind::Fix(*x, ty.clone(), Box::new(belab)),
+                        span,
+                    ),
+                ))
+            }
+            ExprKind::Concept(decl, body) => {
+                let cid = self.check_concept_decl(decl)?;
+                self.concept_names.push((decl.name, cid));
+                let result = self.check_elab(body);
+                self.concept_names.pop();
+                let (ty, term, belab) = result?;
+                Ok((
+                    ty,
+                    term,
+                    Expr::spanned(
+                        ExprKind::Concept(decl.clone(), Box::new(belab)),
+                        span,
+                    ),
+                ))
+            }
+            ExprKind::Model(decl, body) => self.check_model_decl(decl, body),
+            ExprKind::TypeAlias(name, ty, body) => {
+                // Aliases are fully transparent: occurrences expand at
+                // resolution time, so the alias name never appears in any
+                // type that escapes this scope.
+                let rhs = self.resolve_ty(ty, span)?;
+                let n = self.ty_vars.len();
+                self.ty_vars.push((*name, Some(rhs)));
+                let result = self.check_elab(body);
+                self.ty_vars.truncate(n);
+                let (rty, term, belab) = result?;
+                Ok((
+                    rty,
+                    term,
+                    Expr::spanned(
+                        ExprKind::TypeAlias(*name, ty.clone(), Box::new(belab)),
+                        span,
+                    ),
+                ))
+            }
+            ExprKind::MemberAccess {
+                concept,
+                args,
+                member,
+            } => {
+                let cid = self
+                    .lookup_concept(*concept)
+                    .ok_or_else(|| CheckError::new(ErrorKind::UnknownConcept(*concept), span))?;
+                let nparams = self.concepts.get(cid).params.len();
+                if nparams != args.len() {
+                    return self.err(
+                        ErrorKind::ArityMismatch {
+                            what: format!("concept `{concept}`"),
+                            expected: nparams,
+                            found: args.len(),
+                        },
+                        span,
+                    );
+                }
+                let rargs = args
+                    .iter()
+                    .map(|a| self.resolve_ty(a, span))
+                    .collect::<Result<Vec<_>, _>>()?;
+                let (ty, term) = self.access_member(cid, *concept, &rargs, *member, span)?;
+                Ok((ty, term, e.clone()))
+            }
+        }
+    }
+
+    /// Instantiates a polymorphic term at the given type arguments: checks
+    /// the where clause against the models in scope, resolves the
+    /// dictionaries, and builds the System F type/dictionary application
+    /// (the TAPP rule's translation, shared by explicit and implicit
+    /// instantiation).
+    fn instantiate(
+        &mut self,
+        fterm: Term,
+        vars: &[Symbol],
+        constraints: &[RConstraint],
+        body: &RTy,
+        rargs: &[RTy],
+        span: Span,
+    ) -> Result<(RTy, Term), CheckError> {
+        let sigma: HashMap<Symbol, RTy> =
+            vars.iter().copied().zip(rargs.iter().cloned()).collect();
+        // The plan is computed on the *uninstantiated* constraints so the
+        // slot order matches the abstraction's translation.
+        let plan = self.where_plan(constraints);
+        // Same-type constraints must hold at the instantiation.
+        for (a, b) in &plan.same_constraints {
+            let ia = subst(a, &sigma);
+            let ib = subst(b, &sigma);
+            if !self.types_equal(&ia, &ib) {
+                return self.err(ErrorKind::SameTypeViolation(ia, ib), span);
+            }
+        }
+        // Dictionary arguments from the models in scope.
+        let mut dict_terms = Vec::with_capacity(plan.dicts.len());
+        for dict in &plan.dicts {
+            let inst_args: Vec<RTy> = dict.args.iter().map(|a| subst(a, &sigma)).collect();
+            let Some(resolved) = self.resolve_model(dict.concept, &inst_args, false) else {
+                return self.err(
+                    ErrorKind::NoModel {
+                        concept: dict.concept_name,
+                        args: inst_args,
+                    },
+                    span,
+                );
+            };
+            dict_terms.push(resolved.term);
+        }
+        // Type arguments: the written ones plus the resolved associated
+        // types, in plan order.
+        let mut sf_ty_args = Vec::with_capacity(rargs.len() + plan.assoc_slots.len());
+        for a in rargs {
+            sf_ty_args.push(self.tr_ty(a, span)?);
+        }
+        for slot in &plan.assoc_slots {
+            let proj = RTy::Assoc {
+                concept: slot.concept,
+                concept_name: slot.concept_name,
+                args: slot.args.iter().map(|a| subst(a, &sigma)).collect(),
+                name: slot.name,
+            };
+            sf_ty_args.push(self.tr_ty(&proj, span)?);
+        }
+        let mut term = Term::TyApp(Box::new(fterm), sf_ty_args);
+        if !dict_terms.is_empty() {
+            term = Term::App(Box::new(term), dict_terms);
+        }
+        Ok((subst(body, &sigma), term))
+    }
+
+    /// Renders a resolved type back to surface syntax (used when inserting
+    /// inferred type arguments into the elaborated program).
+    fn rty_to_surface(&self, t: &RTy) -> FgTy {
+        match t {
+            RTy::Var(v) => FgTy::Var(*v),
+            RTy::Int => FgTy::Int,
+            RTy::Bool => FgTy::Bool,
+            RTy::List(x) => FgTy::List(Box::new(self.rty_to_surface(x))),
+            RTy::Fn(ps, r) => FgTy::Fn(
+                ps.iter().map(|p| self.rty_to_surface(p)).collect(),
+                Box::new(self.rty_to_surface(r)),
+            ),
+            RTy::Forall {
+                vars,
+                constraints,
+                body,
+            } => FgTy::Forall {
+                vars: vars.clone(),
+                constraints: constraints
+                    .iter()
+                    .map(|c| match c {
+                        RConstraint::Model {
+                            concept_name, args, ..
+                        } => Constraint::Model {
+                            concept: *concept_name,
+                            args: args.iter().map(|a| self.rty_to_surface(a)).collect(),
+                        },
+                        RConstraint::SameTy(a, b) => Constraint::SameTy(
+                            self.rty_to_surface(a),
+                            self.rty_to_surface(b),
+                        ),
+                    })
+                    .collect(),
+                body: Box::new(self.rty_to_surface(body)),
+            },
+            RTy::Assoc {
+                concept_name,
+                args,
+                name,
+                ..
+            } => FgTy::Assoc {
+                concept: *concept_name,
+                args: args.iter().map(|a| self.rty_to_surface(a)).collect(),
+                name: *name,
+            },
+        }
+    }
+
+    /// Views a type as a function type, searching its same-type equivalence
+    /// class if the type itself is not syntactically a function.
+    fn as_fn(&mut self, ty: &RTy) -> Option<(Vec<RTy>, RTy)> {
+        let ty = &self.norm(ty);
+        if let RTy::Fn(ps, r) = ty {
+            return Some((ps.clone(), (**r).clone()));
+        }
+        for m in self.teq.class_members(ty) {
+            if let RTy::Fn(ps, r) = m {
+                return Some((ps, *r));
+            }
+        }
+        None
+    }
+
+    /// Views a type as a universal type, searching its equivalence class.
+    fn as_forall(&mut self, ty: &RTy) -> Option<(Vec<Symbol>, Vec<RConstraint>, RTy)> {
+        let ty = &self.norm(ty);
+        if let RTy::Forall {
+            vars,
+            constraints,
+            body,
+        } = ty
+        {
+            return Some((vars.clone(), constraints.clone(), (**body).clone()));
+        }
+        for m in self.teq.class_members(ty) {
+            if let RTy::Forall {
+                vars,
+                constraints,
+                body,
+            } = m
+            {
+                return Some((vars, constraints, *body));
+            }
+        }
+        None
+    }
+
+    // ------------------------------------------------------------------
+    // Declarations
+    // ------------------------------------------------------------------
+
+    /// Checks a concept declaration (the CPT rule) and records it in the
+    /// concept table, returning its id. The caller scopes the name binding.
+    fn check_concept_decl(&mut self, decl: &ConceptDecl) -> Result<ConceptId, CheckError> {
+        let span = decl.span;
+        distinct(&decl.params, span)?;
+        // Collect associated-type names first: items may reference them in
+        // any order.
+        let mut assoc_types: Vec<Symbol> = Vec::new();
+        for item in &decl.items {
+            if let ConceptItem::AssocTypes(names) = item {
+                for &n in names {
+                    if assoc_types.contains(&n) || decl.params.contains(&n) {
+                        return self.err(ErrorKind::DuplicateConceptItem(n), span);
+                    }
+                    assoc_types.push(n);
+                }
+            }
+        }
+        let prev_current = self.current_concept.replace((
+            decl.name,
+            decl.params.clone(),
+            assoc_types.clone(),
+        ));
+        let result = (|| {
+            let mut refines = Vec::new();
+            let mut requires = Vec::new();
+            let mut members: Vec<MemberSig> = Vec::new();
+            let mut same = Vec::new();
+            for item in &decl.items {
+                match item {
+                    ConceptItem::AssocTypes(_) => {}
+                    ConceptItem::Refines { concept, args }
+                    | ConceptItem::Requires { concept, args } => {
+                        let cid = self.lookup_concept(*concept).ok_or_else(|| {
+                            CheckError::new(ErrorKind::UnknownConcept(*concept), span)
+                        })?;
+                        let nparams = self.concepts.get(cid).params.len();
+                        if nparams != args.len() {
+                            return self.err(
+                                ErrorKind::ArityMismatch {
+                                    what: format!("concept `{concept}`"),
+                                    expected: nparams,
+                                    found: args.len(),
+                                },
+                                span,
+                            );
+                        }
+                        let rargs = args
+                            .iter()
+                            .map(|a| self.resolve_ty(a, span))
+                            .collect::<Result<Vec<_>, _>>()?;
+                        if matches!(item, ConceptItem::Refines { .. }) {
+                            refines.push((cid, rargs));
+                        } else {
+                            requires.push((cid, rargs));
+                        }
+                    }
+                    ConceptItem::Member { name, ty, default } => {
+                        if members.iter().any(|m| m.name == *name) {
+                            return self.err(ErrorKind::DuplicateConceptItem(*name), span);
+                        }
+                        let rty = self.resolve_ty(ty, span)?;
+                        members.push(MemberSig {
+                            name: *name,
+                            ty: rty,
+                            default: default.clone(),
+                        });
+                    }
+                    ConceptItem::Same(a, b) => {
+                        same.push((self.resolve_ty(a, span)?, self.resolve_ty(b, span)?));
+                    }
+                }
+            }
+            let id = self.concepts.next_id();
+            self.concepts.push(ConceptInfo {
+                id,
+                name: decl.name,
+                params: decl.params.clone(),
+                assoc_types,
+                refines,
+                requires,
+                members,
+                same,
+            });
+            Ok(id)
+        })();
+        self.current_concept = prev_current;
+        result
+    }
+
+    /// Checks a model declaration (the MDL rule) and its body.
+    #[allow(clippy::redundant_closure_call)]
+    fn check_model_decl(
+        &mut self,
+        decl: &ModelDecl,
+        body: &Expr,
+    ) -> Result<(RTy, Term, Expr), CheckError> {
+        let span = decl.span;
+        let cid = self
+            .lookup_concept(decl.concept)
+            .ok_or_else(|| CheckError::new(ErrorKind::UnknownConcept(decl.concept), span))?;
+        let info = self.concepts.get(cid).clone();
+        if info.params.len() != decl.args.len() {
+            return self.err(
+                ErrorKind::ArityMismatch {
+                    what: format!("concept `{}`", decl.concept),
+                    expected: info.params.len(),
+                    found: decl.args.len(),
+                },
+                span,
+            );
+        }
+        distinct(&decl.params, span)?;
+        let parameterized = !decl.params.is_empty();
+        let dict_name = Symbol::fresh(decl.concept.as_str());
+
+        // Check the declaration inside its own scope: for a parameterized
+        // model the parameters are in scope and the declaration's where
+        // clause provides proxy models (exactly like a `biglam` body).
+        let decl_saved = self.save();
+        let decl_result = (|| {
+            self.ty_vars.extend(decl.params.iter().map(|v| (*v, None)));
+            let rconstraints = decl
+                .constraints
+                .iter()
+                .map(|c| self.resolve_constraint(c, span))
+                .collect::<Result<Vec<_>, _>>()?;
+            let scope = self.enter_where(&rconstraints, true, span)?;
+            let args = decl
+                .args
+                .iter()
+                .map(|a| self.resolve_ty(a, span))
+                .collect::<Result<Vec<_>, _>>()?;
+
+            // Associated-type assignments and member bodies.
+            let mut assoc: Vec<(Symbol, RTy)> = Vec::new();
+            let mut member_bodies: Vec<(Symbol, &Expr)> = Vec::new();
+            for item in &decl.items {
+                match item {
+                    ModelItem::AssocType(name, ty) => {
+                        if !info.assoc_types.contains(name) {
+                            return self.err(
+                                ErrorKind::UnknownAssocType {
+                                    concept: decl.concept,
+                                    name: *name,
+                                },
+                                span,
+                            );
+                        }
+                        if assoc.iter().any(|(n, _)| n == name) {
+                            return self.err(ErrorKind::DuplicateModelItem(*name), span);
+                        }
+                        let rty = self.resolve_ty(ty, span)?;
+                        assoc.push((*name, rty));
+                    }
+                    ModelItem::Member(name, e) => {
+                        if info.member(*name).is_none() {
+                            return self.err(
+                                ErrorKind::UnknownMemberInModel {
+                                    concept: decl.concept,
+                                    member: *name,
+                                },
+                                span,
+                            );
+                        }
+                        if member_bodies.iter().any(|(n, _)| n == name) {
+                            return self.err(ErrorKind::DuplicateModelItem(*name), span);
+                        }
+                        member_bodies.push((*name, e));
+                    }
+                }
+            }
+            for &a in &info.assoc_types {
+                if !assoc.iter().any(|(n, _)| *n == a) {
+                    return self.err(
+                        ErrorKind::MissingAssocAssignment {
+                            concept: decl.concept,
+                            name: a,
+                        },
+                        span,
+                    );
+                }
+            }
+
+            // The model substitution S: concept params → args, assoc names
+            // → their assignments.
+            let mut s: HashMap<Symbol, RTy> = info
+                .params
+                .iter()
+                .copied()
+                .zip(args.iter().cloned())
+                .collect();
+            for (n, t) in &assoc {
+                s.insert(*n, t.clone());
+            }
+
+            // Refined and required concepts must have models in scope (the
+            // declaration's own constraint proxies count).
+            let mut child_terms: Vec<Term> = Vec::new();
+            for (rc, rargs) in info.refines.iter().chain(&info.requires) {
+                let inst_args: Vec<RTy> = rargs.iter().map(|a| subst(a, &s)).collect();
+                let Some(rm) = self.resolve_model(*rc, &inst_args, false) else {
+                    return self.err(
+                        ErrorKind::MissingRefinedModel {
+                            concept: self.concepts.name(*rc),
+                            args: inst_args,
+                        },
+                        span,
+                    );
+                };
+                child_terms.push(rm.term);
+            }
+
+            // Same-type requirements of the concept must hold.
+            for (lhs, rhs) in &info.same {
+                let il = subst(lhs, &s);
+                let ir = subst(rhs, &s);
+                if !self.types_equal(&il, &ir) {
+                    return self.err(ErrorKind::SameTypeViolation(il, ir), span);
+                }
+            }
+
+            // Check each member (in concept order), building the let-chain
+            // of member bindings for the dictionary.
+            let mut locals: Vec<(Symbol, Symbol)> = Vec::new();
+            let mut bindings: Vec<(Symbol, Term)> = Vec::new();
+            let mut elab_members: Vec<(Symbol, Expr)> = Vec::new();
+            for m in &info.members {
+                let expected = subst(&m.ty, &s);
+                let (found_ty, term) = if let Some((_, e)) =
+                    member_bodies.iter().find(|(n, _)| *n == m.name)
+                {
+                    let (fty, ft, felab) = self.check_elab(e)?;
+                    elab_members.push((m.name, felab));
+                    (fty, ft)
+                } else if let Some(default) = &m.default {
+                    // Defaults were written inside the concept declaration,
+                    // so they mention the concept's parameters and
+                    // associated types by name. Bind those names as type
+                    // variables equal to (but never chosen as
+                    // representatives over) the model's arguments, and let
+                    // the body see the under-construction model so it can
+                    // use earlier members via `C<t̄>.x`.
+                    let saved = self.save();
+                    self.models.push(ModelEntry {
+                        concept: cid,
+                        args: args.clone(),
+                        dict: dict_name,
+                        path: Vec::new(),
+                        assoc: assoc.clone(),
+                        under_construction: Some(locals.clone()),
+                        params: decl.params.clone(),
+                        constraints: rconstraints.clone(),
+                    });
+                    // Hygiene: the concept's parameter and associated-type
+                    // names may collide with type variables in scope (in
+                    // particular a parameterized model's own parameters),
+                    // so bind *fresh* names and alpha-rename the default
+                    // body accordingly.
+                    let mut rename: HashMap<Symbol, Symbol> = HashMap::new();
+                    for (p, a) in info.params.iter().zip(&args) {
+                        let fresh = Symbol::fresh(p.as_str());
+                        rename.insert(*p, fresh);
+                        self.ty_vars.push((fresh, None));
+                        self.teq.ban_representative(fresh);
+                        self.teq.assert_eq(&RTy::Var(fresh), a);
+                    }
+                    for (n, t) in &assoc {
+                        let fresh = Symbol::fresh(n.as_str());
+                        rename.insert(*n, fresh);
+                        self.ty_vars.push((fresh, None));
+                        self.teq.ban_representative(fresh);
+                        self.teq.assert_eq(&RTy::Var(fresh), t);
+                    }
+                    let default = crate::ast::rename_ty_vars_expr(default, &rename);
+                    // Verify the member type while the parameter
+                    // equalities are still in force, then report it as the
+                    // instantiated concept type.
+                    let result = self.check(&default).and_then(|(found, term)| {
+                        if self.types_equal(&found, &expected) {
+                            Ok((expected.clone(), term))
+                        } else {
+                            Err(CheckError::new(
+                                ErrorKind::MemberTypeMismatch {
+                                    member: m.name,
+                                    expected: expected.clone(),
+                                    found,
+                                },
+                                span,
+                            ))
+                        }
+                    });
+                    self.restore(saved);
+                    result?
+                } else {
+                    return self.err(
+                        ErrorKind::MissingMember {
+                            concept: decl.concept,
+                            member: m.name,
+                        },
+                        span,
+                    );
+                };
+                if !self.types_equal(&found_ty, &expected) {
+                    return self.err(
+                        ErrorKind::MemberTypeMismatch {
+                            member: m.name,
+                            expected,
+                            found: found_ty,
+                        },
+                        span,
+                    );
+                }
+                let local = Symbol::fresh(m.name.as_str());
+                locals.push((m.name, local));
+                bindings.push((local, term));
+            }
+            Ok((rconstraints, scope, args, assoc, child_terms, bindings, elab_members))
+        })();
+        self.restore(decl_saved);
+        let (rconstraints, scope, args, assoc, child_terms, bindings, elab_members) =
+            decl_result?;
+
+        // Assemble the dictionary: let m_i = e_i in tuple(children…, m̄),
+        // wrapped in a type/dictionary abstraction when parameterized.
+        let mut dict_items: Vec<Term> =
+            Vec::with_capacity(child_terms.len() + bindings.len());
+        dict_items.extend(child_terms);
+        for (local, _) in &bindings {
+            dict_items.push(Term::Var(*local));
+        }
+        let mut inner = Term::Tuple(dict_items);
+        for (local, binding) in bindings.into_iter().rev() {
+            inner = Term::let_(local, binding, inner);
+        }
+        let dict_value = if parameterized {
+            let mut binders = decl.params.clone();
+            binders.extend(scope.assoc_binders.iter().copied());
+            let with_dicts = if scope.dict_names.is_empty() {
+                inner
+            } else {
+                Term::Lam(
+                    scope
+                        .dict_names
+                        .iter()
+                        .copied()
+                        .zip(scope.dict_tys.iter().cloned())
+                        .collect(),
+                    Box::new(inner),
+                )
+            };
+            Term::TyAbs(binders, Box::new(with_dicts))
+        } else {
+            inner
+        };
+
+        // Enter the model's scope for the body: ordinary models assert
+        // their associated-type equalities (parameterized ones are handled
+        // by normalization at lookup time), then register the entry.
+        let saved = self.save();
+        let result = (|| {
+            if !parameterized {
+                for (n, t) in &assoc {
+                    let proj = RTy::Assoc {
+                        concept: cid,
+                        concept_name: decl.concept,
+                        args: args.clone(),
+                        name: *n,
+                    };
+                    self.teq.assert_eq(&proj, t);
+                }
+            }
+            self.models.push(ModelEntry {
+                concept: cid,
+                args: args.clone(),
+                dict: dict_name,
+                path: Vec::new(),
+                assoc: assoc.clone(),
+                under_construction: None,
+                params: decl.params.clone(),
+                constraints: rconstraints.clone(),
+            });
+            self.check_elab(body)
+        })();
+        self.restore(saved);
+        let (bty, bterm, belab) = result?;
+        // Rebuild the declaration with elaborated member bodies (defaults
+        // stay in the concept and are elaborated per model at check time).
+        let items = decl
+            .items
+            .iter()
+            .map(|item| match item {
+                ModelItem::AssocType(n, t) => ModelItem::AssocType(*n, t.clone()),
+                ModelItem::Member(n, orig) => {
+                    match elab_members.iter().find(|(m, _)| m == n) {
+                        Some((_, elab)) => ModelItem::Member(*n, elab.clone()),
+                        None => ModelItem::Member(*n, orig.clone()),
+                    }
+                }
+            })
+            .collect();
+        let elab_decl = ModelDecl {
+            params: decl.params.clone(),
+            constraints: decl.constraints.clone(),
+            concept: decl.concept,
+            args: decl.args.clone(),
+            items,
+            span: decl.span,
+        };
+        Ok((
+            bty,
+            Term::let_(dict_name, dict_value, bterm),
+            Expr::spanned(
+                ExprKind::Model(Box::new(elab_decl), Box::new(belab)),
+                decl.span,
+            ),
+        ))
+    }
+}
+
+/// The F_G type scheme of a primitive (mirrors [`Prim::ty`]).
+pub fn prim_rty(p: Prim) -> RTy {
+    let t = Symbol::intern("t");
+    let tv = || RTy::Var(t);
+    let poly = |body: RTy| RTy::Forall {
+        vars: vec![t],
+        constraints: vec![],
+        body: Box::new(body),
+    };
+    match p {
+        Prim::IAdd | Prim::ISub | Prim::IMult => RTy::func(vec![RTy::Int, RTy::Int], RTy::Int),
+        Prim::INeg => RTy::func(vec![RTy::Int], RTy::Int),
+        Prim::IEq | Prim::ILt | Prim::ILe => RTy::func(vec![RTy::Int, RTy::Int], RTy::Bool),
+        Prim::BNot => RTy::func(vec![RTy::Bool], RTy::Bool),
+        Prim::BAnd | Prim::BOr | Prim::BEq => {
+            RTy::func(vec![RTy::Bool, RTy::Bool], RTy::Bool)
+        }
+        Prim::Nil => poly(RTy::list(tv())),
+        Prim::Cons => poly(RTy::func(vec![tv(), RTy::list(tv())], RTy::list(tv()))),
+        Prim::Car => poly(RTy::func(vec![RTy::list(tv())], tv())),
+        Prim::Cdr => poly(RTy::func(vec![RTy::list(tv())], RTy::list(tv()))),
+        Prim::Null => poly(RTy::func(vec![RTy::list(tv())], RTy::Bool)),
+    }
+}
+
+fn distinct(names: &[Symbol], span: Span) -> Result<(), CheckError> {
+    for (i, n) in names.iter().enumerate() {
+        if names[..i].contains(n) {
+            return Err(CheckError::new(ErrorKind::DuplicateBinder(*n), span));
+        }
+    }
+    Ok(())
+}

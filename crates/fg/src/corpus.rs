@@ -1,0 +1,330 @@
+//! The paper's figures and worked examples as runnable F_G programs.
+//!
+//! Each [`PaperProgram`] records where in the paper it comes from, the F_G
+//! source, and the value the paper's prose implies it should produce. The
+//! corpus is shared by the integration tests (`tests/paper_figures.rs` at
+//! the workspace root), the differential tests, and the benchmark harness
+//! (`crates/bench`), so every figure is exercised by all three.
+
+/// The expected result of a corpus program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Expected {
+    /// An integer result.
+    Int(i64),
+    /// A boolean result.
+    Bool(bool),
+}
+
+impl Expected {
+    /// Checks a System F value against the expectation.
+    pub fn matches(self, v: &system_f::Value) -> bool {
+        match self {
+            Expected::Int(n) => matches!(v, system_f::Value::Int(m) if *m == n),
+            Expected::Bool(b) => matches!(v, system_f::Value::Bool(c) if *c == b),
+        }
+    }
+}
+
+/// A program from the paper, with provenance and expected result.
+#[derive(Debug, Clone, Copy)]
+pub struct PaperProgram {
+    /// Short id used by tests and benches (e.g. `"fig5"`).
+    pub id: &'static str,
+    /// Where in the paper it appears.
+    pub title: &'static str,
+    /// The F_G source.
+    pub source: &'static str,
+    /// The value it should produce.
+    pub expected: Expected,
+}
+
+/// Figure 1(b)-style `square` over a `Number` concept: `square(4) = 16`.
+///
+/// Figure 1 of the paper shows the same program in Java, Haskell, CLU, and
+/// Cforall; this is its F_G rendering (closest in spirit to the Haskell
+/// type-class version, with a model instead of an instance).
+pub const FIG1_SQUARE: PaperProgram = PaperProgram {
+    id: "fig1",
+    title: "Figure 1: square over a Number concept",
+    source: r#"
+        concept Number<u> { mult : fn(u, u) -> u; } in
+        let square = biglam t where Number<t>. lam x: t.
+            Number<t>.mult(x, x)
+        in
+        model Number<int> { mult = imult; } in
+        square[int](4)
+    "#,
+    expected: Expected::Int(16),
+};
+
+/// Figure 5: the generic `accumulate` over a `Monoid`, summing `[1, 2]`.
+pub const FIG5_ACCUMULATE: PaperProgram = PaperProgram {
+    id: "fig5",
+    title: "Figure 5: generic accumulate over Monoid",
+    source: r#"
+        concept Semigroup<t> { binary_op : fn(t, t) -> t; } in
+        concept Monoid<t> { refines Semigroup<t>; identity_elt : t; } in
+        let accumulate = biglam t where Monoid<t>.
+            fix accum: fn(list t) -> t.
+              lam ls: list t.
+                let binary_op = Monoid<t>.binary_op in
+                let identity_elt = Monoid<t>.identity_elt in
+                if null[t](ls) then identity_elt
+                else binary_op(car[t](ls), accum(cdr[t](ls)))
+        in
+        model Semigroup<int> { binary_op = iadd; } in
+        model Monoid<int> { identity_elt = 0; } in
+        let ls = cons[int](1, cons[int](2, nil[int])) in
+        accumulate[int](ls)
+    "#,
+    expected: Expected::Int(3),
+};
+
+/// Figure 6: intentionally overlapping models in separate lexical scopes.
+///
+/// The paper computes `(sum(ls), product(ls)) = (3, 2)`; F_G has no surface
+/// tuples, so this program encodes the pair as `100·sum + product = 302`.
+pub const FIG6_OVERLAPPING: PaperProgram = PaperProgram {
+    id: "fig6",
+    title: "Figure 6: intentionally overlapping models",
+    source: r#"
+        concept Semigroup<t> { binary_op : fn(t, t) -> t; } in
+        concept Monoid<t> { refines Semigroup<t>; identity_elt : t; } in
+        let accumulate = biglam t where Monoid<t>.
+            fix accum: fn(list t) -> t.
+              lam ls: list t.
+                if null[t](ls) then Monoid<t>.identity_elt
+                else Monoid<t>.binary_op(car[t](ls), accum(cdr[t](ls)))
+        in
+        let sum =
+          model Semigroup<int> { binary_op = iadd; } in
+          model Monoid<int> { identity_elt = 0; } in
+          accumulate[int]
+        in
+        let product =
+          model Semigroup<int> { binary_op = imult; } in
+          model Monoid<int> { identity_elt = 1; } in
+          accumulate[int]
+        in
+        let ls = cons[int](1, cons[int](2, nil[int])) in
+        iadd(imult(100, sum(ls)), product(ls))
+    "#,
+    expected: Expected::Int(302),
+};
+
+/// §5: `accumulate` over the `Iterator` concept with an associated `elt`
+/// type, at the `list int` model: sums `[1, 2, 3] = 6`.
+pub const SEC5_ITERATOR_ACCUMULATE: PaperProgram = PaperProgram {
+    id: "sec5_iter",
+    title: "Section 5: accumulate over Iterator with associated elt",
+    source: r#"
+        concept Semigroup<t> { binary_op : fn(t, t) -> t; } in
+        concept Monoid<t> { refines Semigroup<t>; identity_elt : t; } in
+        concept Iterator<Iter> {
+            types elt;
+            next : fn(Iter) -> Iter;
+            curr : fn(Iter) -> Iterator<Iter>.elt;
+            at_end : fn(Iter) -> bool;
+        } in
+        model Iterator<list int> {
+            types elt = int;
+            next = lam ls: list int. cdr[int](ls);
+            curr = lam ls: list int. car[int](ls);
+            at_end = lam ls: list int. null[int](ls);
+        } in
+        let accumulate =
+          biglam Iter where Iterator<Iter>, Monoid<Iterator<Iter>.elt>.
+            fix accum: fn(Iter) -> Iterator<Iter>.elt.
+              lam it: Iter.
+                if Iterator<Iter>.at_end(it)
+                then Monoid<Iterator<Iter>.elt>.identity_elt
+                else Monoid<Iterator<Iter>.elt>.binary_op(
+                       Iterator<Iter>.curr(it),
+                       accum(Iterator<Iter>.next(it)))
+        in
+        model Semigroup<int> { binary_op = iadd; } in
+        model Monoid<int> { identity_elt = 0; } in
+        accumulate[list int](cons[int](1, cons[int](2, cons[int](3, nil[int]))))
+    "#,
+    expected: Expected::Int(6),
+};
+
+/// §5: `merge` requires two iterators with *the same* element type — a
+/// same-type constraint. Merges `[1,3]` and `[2,4]`, then sums: `10`.
+pub const SEC5_MERGE: PaperProgram = PaperProgram {
+    id: "sec5_merge",
+    title: "Section 5: merge with a same-type constraint",
+    source: r#"
+        concept LessThanComparable<T> { less : fn(T, T) -> bool; } in
+        concept Iterator<Iter> {
+            types elt;
+            next : fn(Iter) -> Iter;
+            curr : fn(Iter) -> Iterator<Iter>.elt;
+            at_end : fn(Iter) -> bool;
+        } in
+        concept OutputIterator<Out, T> { put : fn(Out, T) -> Out; } in
+        model Iterator<list int> {
+            types elt = int;
+            next = lam ls: list int. cdr[int](ls);
+            curr = lam ls: list int. car[int](ls);
+            at_end = lam ls: list int. null[int](ls);
+        } in
+        model OutputIterator<int, int> { put = iadd; } in
+        model LessThanComparable<int> { less = ilt; } in
+        let merge =
+          biglam I1, I2, Out where
+                 Iterator<I1>, Iterator<I2>,
+                 OutputIterator<Out, Iterator<I1>.elt>,
+                 LessThanComparable<Iterator<I1>.elt>,
+                 Iterator<I1>.elt == Iterator<I2>.elt.
+            fix go: fn(I1, I2, Out) -> Out.
+              lam a: I1, b: I2, out: Out.
+                if Iterator<I1>.at_end(a) then
+                  (fix drain: fn(I2, Out) -> Out.
+                    lam bb: I2, oo: Out.
+                      if Iterator<I2>.at_end(bb) then oo
+                      else drain(Iterator<I2>.next(bb),
+                                 OutputIterator<Out, Iterator<I1>.elt>.put(oo, Iterator<I2>.curr(bb))))
+                  (b, out)
+                else if Iterator<I2>.at_end(b) then
+                  (fix draina: fn(I1, Out) -> Out.
+                    lam aa: I1, oo: Out.
+                      if Iterator<I1>.at_end(aa) then oo
+                      else draina(Iterator<I1>.next(aa),
+                                  OutputIterator<Out, Iterator<I1>.elt>.put(oo, Iterator<I1>.curr(aa))))
+                  (a, out)
+                else if LessThanComparable<Iterator<I1>.elt>.less(
+                          Iterator<I1>.curr(a), Iterator<I2>.curr(b))
+                then go(Iterator<I1>.next(a), b,
+                        OutputIterator<Out, Iterator<I1>.elt>.put(out, Iterator<I1>.curr(a)))
+                else go(a, Iterator<I2>.next(b),
+                        OutputIterator<Out, Iterator<I1>.elt>.put(out, Iterator<I2>.curr(b)))
+        in
+        merge[list int, list int, int](
+            cons[int](1, cons[int](3, nil[int])),
+            cons[int](2, cons[int](4, nil[int])),
+            0)
+    "#,
+    expected: Expected::Int(10),
+};
+
+/// §5.2: `copy` — the translation gains an extra type parameter for the
+/// iterator's element type. Copies `[1, 2]` into a summing output: `3`.
+pub const SEC52_COPY: PaperProgram = PaperProgram {
+    id: "sec52_copy",
+    title: "Section 5.2: copy with lifted associated type",
+    source: r#"
+        concept Iterator<Iter> {
+            types elt;
+            next : fn(Iter) -> Iter;
+            curr : fn(Iter) -> Iterator<Iter>.elt;
+            at_end : fn(Iter) -> bool;
+        } in
+        concept OutputIterator<Out, T> { put : fn(Out, T) -> Out; } in
+        model Iterator<list int> {
+            types elt = int;
+            next = lam ls: list int. cdr[int](ls);
+            curr = lam ls: list int. car[int](ls);
+            at_end = lam ls: list int. null[int](ls);
+        } in
+        model OutputIterator<int, int> { put = iadd; } in
+        let copy =
+          biglam Iter, Out where Iterator<Iter>, OutputIterator<Out, Iterator<Iter>.elt>.
+            fix go: fn(Iter, Out) -> Out.
+              lam it: Iter, out: Out.
+                if Iterator<Iter>.at_end(it) then out
+                else go(Iterator<Iter>.next(it),
+                        OutputIterator<Out, Iterator<Iter>.elt>.put(out, Iterator<Iter>.curr(it)))
+        in
+        copy[list int, int](cons[int](1, cons[int](2, nil[int])), 0)
+    "#,
+    expected: Expected::Int(3),
+};
+
+/// §5.2: the `A`/`B` example — refinement at an associated type
+/// (`B<t>` refines `A<B<t>.z>`). Evaluates `foo(bar(5))` at `int`: `false`.
+pub const SEC52_REFINE_ASSOC: PaperProgram = PaperProgram {
+    id: "sec52_ab",
+    title: "Section 5.2: refinement at an associated type",
+    source: r#"
+        concept A<u> { foo : fn(u) -> u; } in
+        concept B<t> { types z; refines A<B<t>.z>; bar : fn(t) -> B<t>.z; } in
+        let f = biglam r where B<r>. lam x: r.
+            A<B<r>.z>.foo(B<r>.bar(x))
+        in
+        model A<bool> { foo = bnot; } in
+        model B<int> { types z = bool; bar = lam x: int. ilt(0, x); } in
+        f[int](5)
+    "#,
+    expected: Expected::Bool(false),
+};
+
+/// §3.1: direct model member access — `Monoid<int>.binary_op` "would
+/// return the iadd function"; here applied to `(40, 2)`.
+pub const SEC31_MEMBER_ACCESS: PaperProgram = PaperProgram {
+    id: "sec31_member",
+    title: "Section 3.1: model member access through refinement",
+    source: r#"
+        concept Semigroup<t> { binary_op : fn(t, t) -> t; } in
+        concept Monoid<t> { refines Semigroup<t>; identity_elt : t; } in
+        model Semigroup<int> { binary_op = iadd; } in
+        model Monoid<int> { identity_elt = 0; } in
+        Monoid<int>.binary_op(40, 2)
+    "#,
+    expected: Expected::Int(42),
+};
+
+/// Figure 3, for reference: the same computation in *plain System F* with
+/// the operations passed explicitly (the style F_G improves on). This is
+/// System F source for [`system_f::parse_term`], not F_G source.
+pub const FIG3_SUM_SYSTEM_F: &str = r#"
+    let sum = biglam t.
+      fix sum: fn(list t, fn(t, t) -> t, t) -> t.
+        lam ls: list t, add: fn(t, t) -> t, zero: t.
+          if null[t](ls) then zero
+          else add(car[t](ls), sum(cdr[t](ls), add, zero))
+    in
+    let ls = cons[int](1, cons[int](2, nil[int])) in
+    sum[int](ls, iadd, 0)
+"#;
+
+/// All F_G corpus programs, in paper order.
+pub const ALL: &[PaperProgram] = &[
+    FIG1_SQUARE,
+    SEC31_MEMBER_ACCESS,
+    FIG5_ACCUMULATE,
+    FIG6_OVERLAPPING,
+    SEC5_ITERATOR_ACCUMULATE,
+    SEC5_MERGE,
+    SEC52_COPY,
+    SEC52_REFINE_ASSOC,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_ids_are_unique() {
+        for (i, a) in ALL.iter().enumerate() {
+            for b in &ALL[..i] {
+                assert_ne!(a.id, b.id);
+            }
+        }
+    }
+
+    #[test]
+    fn all_corpus_programs_parse() {
+        for p in ALL {
+            crate::parser::parse_expr(p.source)
+                .unwrap_or_else(|e| panic!("{}: parse error: {e}", p.id));
+        }
+    }
+
+    #[test]
+    fn figure_3_is_valid_system_f() {
+        let t = system_f::parse_term(FIG3_SUM_SYSTEM_F).unwrap();
+        system_f::typecheck(&t).unwrap();
+        assert_eq!(system_f::eval(&t).unwrap(), system_f::Value::Int(3));
+    }
+}

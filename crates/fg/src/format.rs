@@ -1,0 +1,237 @@
+//! A block formatter for F_G source.
+//!
+//! [`crate::pretty`] renders expressions on one line (its job is lossless
+//! round-tripping); this module renders *programs* the way a person would
+//! lay them out: one declaration per block, brace items on their own
+//! lines, bodies indented under their binders. The output reparses to the
+//! same AST, and formatting is idempotent (both property-tested).
+
+use crate::ast::{ConceptItem, Expr, ExprKind, ModelItem};
+
+const INDENT: &str = "    ";
+
+/// Formats a program (an expression, usually a declaration chain).
+///
+/// ```
+/// use fg::format::format_program;
+/// use fg::parser::parse_expr;
+///
+/// let e = parse_expr(
+///     "concept S<t> { op : fn(t, t) -> t; } in \
+///      model S<int> { op = iadd; } in S<int>.op(1, 2)",
+/// ).unwrap();
+/// assert_eq!(format_program(&e), "\
+/// concept S<t> {
+///     op : fn(t, t) -> t;
+/// } in
+/// model S<int> {
+///     op = iadd;
+/// } in
+/// S<int>.op(1, 2)
+/// ");
+/// ```
+pub fn format_program(e: &Expr) -> String {
+    let mut out = String::new();
+    fmt_chain(e, 0, &mut out);
+    if !out.ends_with('\n') {
+        out.push('\n');
+    }
+    out
+}
+
+fn pad(depth: usize, out: &mut String) {
+    for _ in 0..depth {
+        out.push_str(INDENT);
+    }
+}
+
+/// Formats the `… in … in …` declaration spine at the given depth.
+fn fmt_chain(e: &Expr, depth: usize, out: &mut String) {
+    match &e.kind {
+        ExprKind::Concept(decl, body) => {
+            pad(depth, out);
+            out.push_str(&format!("concept {}<", decl.name));
+            push_names(&decl.params, out);
+            out.push_str("> {\n");
+            for item in &decl.items {
+                pad(depth + 1, out);
+                match item {
+                    ConceptItem::AssocTypes(names) => {
+                        out.push_str("types ");
+                        push_names(names, out);
+                        out.push(';');
+                    }
+                    ConceptItem::Refines { concept, args } => {
+                        out.push_str(&format!("refines {concept}<"));
+                        push_list(args.iter().map(|a| a.to_string()), out);
+                        out.push_str(">;");
+                    }
+                    ConceptItem::Requires { concept, args } => {
+                        out.push_str(&format!("require {concept}<"));
+                        push_list(args.iter().map(|a| a.to_string()), out);
+                        out.push_str(">;");
+                    }
+                    ConceptItem::Member { name, ty, default } => {
+                        out.push_str(&format!("{name} : {ty}"));
+                        if let Some(d) = default {
+                            out.push_str(&format!(" = {d}"));
+                        }
+                        out.push(';');
+                    }
+                    ConceptItem::Same(a, b) => {
+                        out.push_str(&format!("same {a} == {b};"));
+                    }
+                }
+                out.push('\n');
+            }
+            pad(depth, out);
+            out.push_str("} in\n");
+            fmt_chain(body, depth, out);
+        }
+        ExprKind::Model(decl, body) => {
+            pad(depth, out);
+            out.push_str("model ");
+            if !decl.params.is_empty() {
+                out.push_str("forall ");
+                push_names(&decl.params, out);
+                if !decl.constraints.is_empty() {
+                    out.push_str(" where ");
+                    push_list(decl.constraints.iter().map(|c| c.to_string()), out);
+                }
+                out.push_str(". ");
+            }
+            out.push_str(&format!("{}<", decl.concept));
+            push_list(decl.args.iter().map(|a| a.to_string()), out);
+            out.push_str("> {\n");
+            for item in &decl.items {
+                pad(depth + 1, out);
+                match item {
+                    ModelItem::AssocType(name, ty) => {
+                        out.push_str(&format!("types {name} = {ty};"));
+                    }
+                    ModelItem::Member(name, body) => {
+                        out.push_str(&format!("{name} = {body};"));
+                    }
+                }
+                out.push('\n');
+            }
+            pad(depth, out);
+            out.push_str("} in\n");
+            fmt_chain(body, depth, out);
+        }
+        ExprKind::Let(x, bound, body) => {
+            pad(depth, out);
+            match &bound.kind {
+                // Multi-line binder bodies get their own indented block.
+                ExprKind::TyAbs { .. } | ExprKind::Lam(..) | ExprKind::Fix(..) => {
+                    out.push_str(&format!("let {x} =\n"));
+                    pad(depth + 1, out);
+                    out.push_str(&bound.to_string());
+                    out.push('\n');
+                    pad(depth, out);
+                    out.push_str("in\n");
+                }
+                _ => {
+                    out.push_str(&format!("let {x} = {bound} in\n"));
+                }
+            }
+            fmt_chain(body, depth, out);
+        }
+        ExprKind::TypeAlias(name, ty, body) => {
+            pad(depth, out);
+            out.push_str(&format!("type {name} = {ty} in\n"));
+            fmt_chain(body, depth, out);
+        }
+        _ => {
+            pad(depth, out);
+            out.push_str(&e.to_string());
+            out.push('\n');
+        }
+    }
+}
+
+fn push_names(names: &[system_f::Symbol], out: &mut String) {
+    for (i, n) in names.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(n.as_str());
+    }
+}
+
+fn push_list(items: impl Iterator<Item = String>, out: &mut String) {
+    for (i, s) in items.enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::format_program;
+    use crate::parser::parse_expr;
+
+    fn roundtrip(src: &str) -> String {
+        let e = parse_expr(src).unwrap();
+        let formatted = format_program(&e);
+        let reparsed = parse_expr(&formatted)
+            .unwrap_or_else(|err| panic!("formatted output failed to parse: {err}\n{formatted}"));
+        // Same AST up to spans.
+        assert_eq!(reparsed.to_string(), e.to_string(), "{formatted}");
+        // Idempotent.
+        assert_eq!(format_program(&reparsed), formatted);
+        formatted
+    }
+
+    #[test]
+    fn formats_declaration_chains() {
+        let out = roundtrip(
+            "concept S<t> { op : fn(t, t) -> t; } in \
+             model S<int> { op = iadd; } in \
+             let f = biglam t where S<t>. lam x: t. S<t>.op(x, x) in f[int](21)",
+        );
+        assert!(out.contains("concept S<t> {\n    op : fn(t, t) -> t;\n} in\n"));
+        assert!(out.contains("model S<int> {\n    op = iadd;\n} in\n"));
+        assert!(out.contains("let f =\n    biglam t where S<t>. lam x: t. S<t>.op(x, x)\nin\n"));
+        assert!(out.trim_end().ends_with("f[int](21)"));
+    }
+
+    #[test]
+    fn formats_parameterized_models_and_aliases() {
+        let out = roundtrip(
+            "concept Eq<t> { equal : fn(t, t) -> bool; } in \
+             model forall t where Eq<t>. Eq<list t> { equal = lam a: list t, b: list t. true; } in \
+             type pair = fn(int) -> int in 1",
+        );
+        assert!(out.contains("model forall t where Eq<t>. Eq<list t> {"));
+        assert!(out.contains("type pair = fn(int) -> int in\n"));
+    }
+
+    #[test]
+    fn formats_assoc_types_and_defaults() {
+        let out = roundtrip(
+            "concept It<i> { types elt; curr : fn(i) -> It<i>.elt; } in \
+             concept Eq<t> { equal : fn(t, t) -> bool; \
+             ne : fn(t, t) -> bool = lam a: t, b: t. bnot(Eq<t>.equal(a, b)); } in 1",
+        );
+        assert!(out.contains("    types elt;\n"));
+        assert!(out.contains("ne : fn(t, t) -> bool = lam a: t, b: t."));
+    }
+
+    #[test]
+    fn plain_expressions_pass_through() {
+        assert_eq!(roundtrip("iadd(1, 2)"), "iadd(1, 2)\n");
+    }
+
+    #[test]
+    fn the_whole_prelude_formats_and_reparses() {
+        let src = crate::stdlib::with_prelude("accumulate[int](range(1, 5))");
+        let out = roundtrip(&src);
+        assert!(out.lines().count() > 60, "expected many lines");
+        // Formatted prelude still compiles and runs.
+        let v = crate::run(&out).unwrap();
+        assert_eq!(v, system_f::Value::Int(10));
+    }
+}

@@ -1,0 +1,253 @@
+//! A generic linear-algebra library written in F_G, in the spirit of the
+//! Matrix Template Library and uBLAS (both cited in the paper's
+//! introduction; the MTL is the first author's own generic library).
+//!
+//! Numerics is where the *algebraic* side of concepts earns its keep: the
+//! same `dot`, `horner`, and `mat_vec` work over any semiring — ints with
+//! (+, ×), booleans with (∨, ∧) — because the algorithms are written
+//! against an algebraic concept hierarchy rather than a number type:
+//!
+//! ```text
+//! AdditiveMonoid<t>          add, zero
+//! MultiplicativeMonoid<t>    mul, one
+//! Semiring<t>                refines both
+//! Ring<t>                    refines Semiring; neg, sub (defaulted)
+//! ```
+//!
+//! Vectors are `list t`; matrices are `list (list t)` (row-major). A
+//! *constrained parameterized model* lifts any additive monoid to its
+//! vector space: `model forall t where AdditiveMonoid<t>.
+//! AdditiveMonoid<list t>`, with `vec_add` as the member — so
+//! vectors-of-vectors add componentwise for free.
+
+/// The algebra concepts, numeric models, and vector/matrix algorithms
+/// (appended to the stdlib prelude; see [`with_linalg`]).
+pub const LINALG_LIB: &str = r#"
+// ---- algebraic structures ---------------------------------------------------
+concept AdditiveMonoid<t> { add : fn(t, t) -> t; zero : t; } in
+concept MultiplicativeMonoid<t> { mul : fn(t, t) -> t; one : t; } in
+concept Semiring<t> {
+    refines AdditiveMonoid<t>;
+    refines MultiplicativeMonoid<t>;
+} in
+concept Ring<t> {
+    refines Semiring<t>;
+    neg : fn(t) -> t;
+    sub : fn(t, t) -> t
+        = lam a: t, b: t. AdditiveMonoid<t>.add(a, Ring<t>.neg(b));
+} in
+
+// ---- numeric models ---------------------------------------------------------
+model AdditiveMonoid<int> { add = iadd; zero = 0; } in
+model MultiplicativeMonoid<int> { mul = imult; one = 1; } in
+model Semiring<int> { } in
+model Ring<int> { neg = ineg; } in
+// The boolean (or, and) semiring: reachability algebra.
+model AdditiveMonoid<bool> { add = bor; zero = false; } in
+model MultiplicativeMonoid<bool> { mul = band; one = true; } in
+model Semiring<bool> { } in
+
+// ---- vector operations ------------------------------------------------------
+// Componentwise addition (zip semantics: stops at the shorter vector).
+let vec_add = biglam t where AdditiveMonoid<t>.
+    fix go: fn(list t, list t) -> list t.
+      lam xs: list t, ys: list t.
+        if null[t](xs) then nil[t]
+        else if null[t](ys) then nil[t]
+        else cons[t](AdditiveMonoid<t>.add(car[t](xs), car[t](ys)),
+                     go(cdr[t](xs), cdr[t](ys)))
+in
+// Any additive monoid lifts to its vector space — vectors of vectors add
+// componentwise through this single parameterized model.
+model forall t where AdditiveMonoid<t>. AdditiveMonoid<list t> {
+    add = vec_add[t];
+    zero = nil[t];
+} in
+let scale = biglam t where MultiplicativeMonoid<t>.
+    fix go: fn(t, list t) -> list t.
+      lam c: t, v: list t.
+        if null[t](v) then nil[t]
+        else cons[t](MultiplicativeMonoid<t>.mul(c, car[t](v)), go(c, cdr[t](v)))
+in
+let vec_sum = biglam t where AdditiveMonoid<t>.
+    fix go: fn(list t) -> t.
+      lam v: list t.
+        if null[t](v) then AdditiveMonoid<t>.zero
+        else AdditiveMonoid<t>.add(car[t](v), go(cdr[t](v)))
+in
+// Inner product over any semiring.
+let dot = biglam t where Semiring<t>.
+    fix go: fn(list t, list t) -> t.
+      lam xs: list t, ys: list t.
+        if null[t](xs) then AdditiveMonoid<t>.zero
+        else if null[t](ys) then AdditiveMonoid<t>.zero
+        else AdditiveMonoid<t>.add(
+               MultiplicativeMonoid<t>.mul(car[t](xs), car[t](ys)),
+               go(cdr[t](xs), cdr[t](ys)))
+in
+// axpy: a·x + y, the BLAS workhorse.
+let axpy = biglam t where Semiring<t>.
+    lam a: t, x: list t, y: list t. vec_add[t](scale[t](a, x), y)
+in
+// Polynomial evaluation (Horner), coefficients low-order first.
+let horner = biglam t where Semiring<t>.
+    lam coeffs: list t, x: t.
+      (fix go: fn(list t) -> t.
+        lam cs: list t.
+          if null[t](cs) then AdditiveMonoid<t>.zero
+          else AdditiveMonoid<t>.add(
+                 car[t](cs),
+                 MultiplicativeMonoid<t>.mul(x, go(cdr[t](cs)))))
+      (coeffs)
+in
+// Matrix (list of rows) times vector, over any semiring.
+let mat_vec = biglam t where Semiring<t>.
+    fix go: fn(list (list t), list t) -> list t.
+      lam rows: list (list t), v: list t.
+        if null[list t](rows) then nil[t]
+        else cons[t](dot[t](car[list t](rows), v), go(cdr[list t](rows), v))
+in
+"#;
+
+/// Wraps a body in the stdlib prelude plus the linear-algebra library.
+///
+/// ```
+/// use fg::linalg::with_linalg;
+/// use fg::run;
+///
+/// // dot([1,2,3], [4,5,6]) over the int semiring = 32
+/// let v = run(&with_linalg(
+///     "dot[int](range_vec(1, 4), range_vec(4, 7))",
+/// )).unwrap();
+/// assert_eq!(v, system_f::Value::Int(32));
+/// ```
+pub fn with_linalg(body: &str) -> String {
+    format!(
+        "{}\n{}\nlet range_vec = range in\n{}\n",
+        crate::stdlib::PRELUDE,
+        LINALG_LIB,
+        body
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::with_linalg;
+    use crate::run;
+    use system_f::Value;
+
+    fn run_l(body: &str) -> Value {
+        run(&with_linalg(body)).unwrap_or_else(|e| panic!("{body}: {e}"))
+    }
+
+    #[test]
+    fn dot_product_over_int_semiring() {
+        assert_eq!(
+            run_l("dot[int](range_vec(1, 4), range_vec(4, 7))"),
+            Value::Int(4 + 2 * 5 + 3 * 6)
+        );
+        assert_eq!(run_l("dot[int](nil[int], range_vec(0, 3))"), Value::Int(0));
+    }
+
+    #[test]
+    fn dot_product_over_bool_semiring_is_reachability() {
+        // (f ∧ t) ∨ (t ∧ t) = true
+        assert_eq!(
+            run_l(
+                "dot[bool](cons[bool](false, cons[bool](true, nil[bool])),
+                           cons[bool](true, cons[bool](true, nil[bool])))"
+            ),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            run_l("dot[bool](cons[bool](false, nil[bool]), cons[bool](true, nil[bool]))"),
+            Value::Bool(false)
+        );
+    }
+
+    #[test]
+    fn vec_add_and_axpy() {
+        assert_eq!(
+            run_l("vec_sum[int](vec_add[int](range_vec(0, 4), range_vec(0, 4)))"),
+            Value::Int(12)
+        );
+        // axpy(2, [1,2], [10, 20]) = [12, 24]
+        assert_eq!(
+            run_l("vec_sum[int](axpy[int](2, range_vec(1, 3), scale[int](10, range_vec(1, 3))))"),
+            Value::Int(36)
+        );
+    }
+
+    #[test]
+    fn vectors_of_vectors_add_through_the_parameterized_model() {
+        // [[1,2],[3]] + [[10,20],[30]] = [[11,22],[33]]; row sums 33 + 33.
+        // (vec_add has zip semantics, so vectors are summed row by row
+        // rather than folded — nil is a zero only for the zip, not a
+        // lawful identity.)
+        let body = "
+            let m1 = cons[list int](range_vec(1, 3), cons[list int](range_vec(3, 4), nil[list int])) in
+            let m2 = cons[list int](scale[int](10, range_vec(1, 3)),
+                     cons[list int](scale[int](10, range_vec(3, 4)), nil[list int])) in
+            let summed = AdditiveMonoid<list (list int)>.add(m1, m2) in
+            iadd(vec_sum[int](car[list int](summed)),
+                 vec_sum[int](car[list int](cdr[list int](summed))))";
+        assert_eq!(run_l(body), Value::Int(66));
+    }
+
+    #[test]
+    fn horner_evaluates_polynomials() {
+        // p(x) = 1 + 2x + 3x² at x = 10 → 321.
+        assert_eq!(
+            run_l("horner[int](range_vec(1, 4), 10)"),
+            Value::Int(321)
+        );
+        // Over booleans: p(x) = false ∨ (true ∧ x) at x = true.
+        assert_eq!(
+            run_l(
+                "horner[bool](cons[bool](false, cons[bool](true, nil[bool])), true)"
+            ),
+            Value::Bool(true)
+        );
+    }
+
+    #[test]
+    fn mat_vec_multiplication() {
+        // [[1,2],[3,4]] · [5,6] = [17, 39]; total 56.
+        let body = "
+            let row1 = cons[int](1, cons[int](2, nil[int])) in
+            let row2 = cons[int](3, cons[int](4, nil[int])) in
+            let m = cons[list int](row1, cons[list int](row2, nil[list int])) in
+            let v = cons[int](5, cons[int](6, nil[int])) in
+            vec_sum[int](mat_vec[int](m, v))";
+        assert_eq!(run_l(body), Value::Int(56));
+    }
+
+    #[test]
+    fn ring_subtraction_defaults_from_add_and_neg() {
+        assert_eq!(run_l("Ring<int>.sub(10, 3)"), Value::Int(7));
+        assert_eq!(run_l("Ring<int>.neg(5)"), Value::Int(-5));
+    }
+
+    #[test]
+    fn implicit_instantiation_on_linalg() {
+        // The vector argument determines the semiring.
+        assert_eq!(
+            run_l("dot(range_vec(1, 4), range_vec(4, 7))"),
+            Value::Int(32)
+        );
+        assert_eq!(run_l("vec_sum(range_vec(0, 10))"), Value::Int(45));
+        assert_eq!(run_l("horner(range_vec(1, 4), 10)"), Value::Int(321));
+    }
+
+    #[test]
+    fn both_execution_paths_agree() {
+        let src = with_linalg("vec_sum[int](mat_vec[int](cons[list int](range_vec(0, 5), nil[list int]), range_vec(0, 5)))");
+        let expr = crate::parser::parse_expr(&src).unwrap();
+        let compiled = crate::check_program(&expr).unwrap();
+        system_f::typecheck(&compiled.term).unwrap();
+        let translated = system_f::eval(&compiled.term).unwrap();
+        let direct = crate::interp::run_direct(&compiled.elaborated).unwrap();
+        assert!(direct.agrees_with(&translated));
+        assert_eq!(translated, Value::Int(30));
+    }
+}

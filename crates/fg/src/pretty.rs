@@ -1,0 +1,403 @@
+//! Pretty-printing of the F_G surface syntax.
+//!
+//! The output is exactly the concrete syntax accepted by
+//! [`crate::parser::parse_expr`] / [`crate::parser::parse_fg_ty`], so
+//! `parse ∘ pretty` is the identity (checked by a property test in
+//! `tests/prop_fg_roundtrip.rs`).
+
+use std::fmt;
+
+use crate::ast::{ConceptItem, Constraint, Expr, ExprKind, FgTy, ModelItem};
+
+impl fmt::Display for FgTy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_ty(self, f)
+    }
+}
+
+fn ty_is_atom(ty: &FgTy) -> bool {
+    matches!(ty, FgTy::Var(_) | FgTy::Int | FgTy::Bool | FgTy::Assoc { .. })
+}
+
+fn fmt_ty_atom(ty: &FgTy, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    if ty_is_atom(ty) {
+        fmt_ty(ty, f)
+    } else {
+        write!(f, "(")?;
+        fmt_ty(ty, f)?;
+        write!(f, ")")
+    }
+}
+
+fn fmt_ty(ty: &FgTy, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    match ty {
+        FgTy::Var(v) => write!(f, "{v}"),
+        FgTy::Int => write!(f, "int"),
+        FgTy::Bool => write!(f, "bool"),
+        FgTy::List(t) => {
+            write!(f, "list ")?;
+            fmt_ty_atom(t, f)
+        }
+        FgTy::Fn(ps, r) => {
+            write!(f, "fn(")?;
+            for (i, p) in ps.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                fmt_ty(p, f)?;
+            }
+            write!(f, ") -> ")?;
+            fmt_ty(r, f)
+        }
+        FgTy::Forall {
+            vars,
+            constraints,
+            body,
+        } => {
+            write!(f, "forall ")?;
+            for (i, v) in vars.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{v}")?;
+            }
+            fmt_where(constraints, f)?;
+            write!(f, ". ")?;
+            fmt_ty(body, f)
+        }
+        FgTy::Assoc {
+            concept,
+            args,
+            name,
+        } => {
+            write!(f, "{concept}<")?;
+            fmt_ty_list(args, f)?;
+            write!(f, ">.{name}")
+        }
+    }
+}
+
+fn fmt_where(constraints: &[Constraint], f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    if constraints.is_empty() {
+        return Ok(());
+    }
+    write!(f, " where ")?;
+    for (i, c) in constraints.iter().enumerate() {
+        if i > 0 {
+            write!(f, ", ")?;
+        }
+        write!(f, "{c}")?;
+    }
+    Ok(())
+}
+
+impl fmt::Display for Constraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Constraint::Model { concept, args } => {
+                write!(f, "{concept}<")?;
+                fmt_ty_list(args, f)?;
+                write!(f, ">")
+            }
+            Constraint::SameTy(a, b) => {
+                fmt_ty(a, f)?;
+                write!(f, " == ")?;
+                fmt_ty(b, f)
+            }
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_expr(self, f)
+    }
+}
+
+fn expr_is_postfix_safe(e: &Expr) -> bool {
+    matches!(
+        e.kind,
+        ExprKind::Var(_)
+            | ExprKind::IntLit(_)
+            | ExprKind::BoolLit(_)
+            | ExprKind::Prim(_)
+            | ExprKind::App(..)
+            | ExprKind::TyApp(..)
+            | ExprKind::MemberAccess { .. }
+    )
+}
+
+fn fmt_expr_postfix(e: &Expr, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    if expr_is_postfix_safe(e) {
+        fmt_expr(e, f)
+    } else {
+        write!(f, "(")?;
+        fmt_expr(e, f)?;
+        write!(f, ")")
+    }
+}
+
+fn fmt_expr(e: &Expr, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    match &e.kind {
+        ExprKind::Var(x) => write!(f, "{x}"),
+        ExprKind::IntLit(n) => {
+            if *n < 0 {
+                write!(f, "({n})")
+            } else {
+                write!(f, "{n}")
+            }
+        }
+        ExprKind::BoolLit(b) => write!(f, "{b}"),
+        ExprKind::Prim(p) => write!(f, "{}", p.name()),
+        ExprKind::App(func, args) => {
+            fmt_expr_postfix(func, f)?;
+            write!(f, "(")?;
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                fmt_expr(a, f)?;
+            }
+            write!(f, ")")
+        }
+        ExprKind::Lam(params, body) => {
+            write!(f, "lam ")?;
+            for (i, (x, t)) in params.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{x}: ")?;
+                fmt_ty(t, f)?;
+            }
+            write!(f, ". ")?;
+            fmt_expr(body, f)
+        }
+        ExprKind::TyAbs {
+            vars,
+            constraints,
+            body,
+        } => {
+            write!(f, "biglam ")?;
+            for (i, v) in vars.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{v}")?;
+            }
+            fmt_where(constraints, f)?;
+            write!(f, ". ")?;
+            fmt_expr(body, f)
+        }
+        ExprKind::TyApp(func, tys) => {
+            fmt_expr_postfix(func, f)?;
+            write!(f, "[")?;
+            fmt_ty_list(tys, f)?;
+            write!(f, "]")
+        }
+        ExprKind::Let(x, bound, body) => {
+            write!(f, "let {x} = ")?;
+            fmt_expr(bound, f)?;
+            write!(f, " in ")?;
+            fmt_expr(body, f)
+        }
+        ExprKind::If(c, t, e2) => {
+            write!(f, "if ")?;
+            fmt_expr(c, f)?;
+            write!(f, " then ")?;
+            fmt_expr(t, f)?;
+            write!(f, " else ")?;
+            fmt_expr(e2, f)
+        }
+        ExprKind::Fix(x, ty, body) => {
+            write!(f, "fix {x}: ")?;
+            fmt_ty(ty, f)?;
+            write!(f, ". ")?;
+            fmt_expr(body, f)
+        }
+        ExprKind::Concept(decl, body) => {
+            write!(f, "concept {}<", decl.name)?;
+            for (i, p) in decl.params.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{p}")?;
+            }
+            write!(f, "> {{ ")?;
+            for item in &decl.items {
+                match item {
+                    ConceptItem::AssocTypes(names) => {
+                        write!(f, "types ")?;
+                        for (i, n) in names.iter().enumerate() {
+                            if i > 0 {
+                                write!(f, ", ")?;
+                            }
+                            write!(f, "{n}")?;
+                        }
+                        write!(f, "; ")?;
+                    }
+                    ConceptItem::Refines { concept, args } => {
+                        write!(f, "refines {concept}<")?;
+                        fmt_ty_list(args, f)?;
+                        write!(f, ">; ")?;
+                    }
+                    ConceptItem::Requires { concept, args } => {
+                        write!(f, "require {concept}<")?;
+                        fmt_ty_list(args, f)?;
+                        write!(f, ">; ")?;
+                    }
+                    ConceptItem::Member { name, ty, default } => {
+                        write!(f, "{name} : ")?;
+                        fmt_ty(ty, f)?;
+                        if let Some(d) = default {
+                            write!(f, " = ")?;
+                            fmt_expr(d, f)?;
+                        }
+                        write!(f, "; ")?;
+                    }
+                    ConceptItem::Same(a, b) => {
+                        write!(f, "same ")?;
+                        fmt_ty(a, f)?;
+                        write!(f, " == ")?;
+                        fmt_ty(b, f)?;
+                        write!(f, "; ")?;
+                    }
+                }
+            }
+            write!(f, "}} in ")?;
+            fmt_expr(body, f)
+        }
+        ExprKind::Model(decl, body) => {
+            write!(f, "model ")?;
+            if !decl.params.is_empty() {
+                write!(f, "forall ")?;
+                for (i, p) in decl.params.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                fmt_where(&decl.constraints, f)?;
+                write!(f, ". ")?;
+            }
+            write!(f, "{}<", decl.concept)?;
+            fmt_ty_list(&decl.args, f)?;
+            write!(f, "> {{ ")?;
+            for item in &decl.items {
+                match item {
+                    ModelItem::AssocType(name, ty) => {
+                        write!(f, "types {name} = ")?;
+                        fmt_ty(ty, f)?;
+                        write!(f, "; ")?;
+                    }
+                    ModelItem::Member(name, e2) => {
+                        write!(f, "{name} = ")?;
+                        fmt_expr(e2, f)?;
+                        write!(f, "; ")?;
+                    }
+                }
+            }
+            write!(f, "}} in ")?;
+            fmt_expr(body, f)
+        }
+        ExprKind::TypeAlias(name, ty, body) => {
+            write!(f, "type {name} = ")?;
+            fmt_ty(ty, f)?;
+            write!(f, " in ")?;
+            fmt_expr(body, f)
+        }
+        ExprKind::MemberAccess {
+            concept,
+            args,
+            member,
+        } => {
+            write!(f, "{concept}<")?;
+            fmt_ty_list(args, f)?;
+            write!(f, ">.{member}")
+        }
+    }
+}
+
+fn fmt_ty_list(tys: &[FgTy], f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    for (i, t) in tys.iter().enumerate() {
+        if i > 0 {
+            write!(f, ", ")?;
+        }
+        fmt_ty(t, f)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parser::{parse_expr, parse_fg_ty};
+
+    fn roundtrip_expr(src: &str) {
+        let e = parse_expr(src).unwrap();
+        let printed = e.to_string();
+        let reparsed = parse_expr(&printed)
+            .unwrap_or_else(|err| panic!("reparse of {printed:?} failed: {err}"));
+        // Spans differ between the two parses; compare by re-printing.
+        assert_eq!(reparsed.to_string(), printed);
+    }
+
+    fn roundtrip_ty(src: &str) {
+        let t = parse_fg_ty(src).unwrap();
+        let printed = t.to_string();
+        assert_eq!(parse_fg_ty(&printed).unwrap(), t);
+    }
+
+    #[test]
+    fn types_round_trip() {
+        roundtrip_ty("int");
+        roundtrip_ty("fn(int, bool) -> list int");
+        roundtrip_ty("Iterator<Iter>.elt");
+        roundtrip_ty("forall t where Monoid<t>. fn(list t) -> t");
+        roundtrip_ty(
+            "forall i, j where Iterator<i>, Iterator<j>, \
+             Iterator<i>.elt == Iterator<j>.elt. fn(i, j) -> bool",
+        );
+    }
+
+    #[test]
+    fn exprs_round_trip() {
+        roundtrip_expr("iadd(1, 2)");
+        roundtrip_expr("lam x: int. x");
+        roundtrip_expr("biglam t where Monoid<t>. Monoid<t>.identity_elt");
+        roundtrip_expr("let x = (-3) in if true then x else 0");
+        roundtrip_expr("fix f: fn(int) -> int. lam n: int. f(n)");
+        roundtrip_expr(
+            "concept Semigroup<t> { binary_op : fn(t, t) -> t; } in \
+             model Semigroup<int> { binary_op = iadd; } in \
+             Semigroup<int>.binary_op(1, 2)",
+        );
+        roundtrip_expr("type elt = Iterator<list int>.elt in 1");
+        roundtrip_expr(
+            "concept Eq<t> { equal : fn(t, t) -> bool; \
+             not_equal : fn(t, t) -> bool = lam a: t, b: t. bnot(Eq<t>.equal(a, b)); } in 1",
+        );
+        roundtrip_expr(
+            "concept Container<c> { types iter; require Iterator<Container<c>.iter>; \
+             begin : fn(c) -> Container<c>.iter; } in 1",
+        );
+        roundtrip_expr(
+            "model Iterator<list int> { types elt = int; \
+             next = lam ls: list int. cdr[int](ls); } in 1",
+        );
+        roundtrip_expr(
+            "model forall t where Eq<t>. Eq<list t> { \
+             equal = lam a: list t, b: list t. true; } in 1",
+        );
+    }
+
+    #[test]
+    fn display_matches_expected_form() {
+        let e = parse_expr("biglam t where Monoid<t>. lam x: t. x").unwrap();
+        assert_eq!(e.to_string(), "biglam t where Monoid<t>. lam x: t. x");
+    }
+
+    #[test]
+    fn lambda_application_parenthesized() {
+        let e = parse_expr("(lam x: int. x)(3)").unwrap();
+        assert_eq!(e.to_string(), "(lam x: int. x)(3)");
+    }
+}

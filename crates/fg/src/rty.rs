@@ -1,0 +1,458 @@
+//! Resolved F_G types.
+//!
+//! The surface syntax refers to concepts by name; because concepts are
+//! *expressions* with lexical scope (unlike Haskell's global type classes),
+//! the same name may denote different concepts at different program points.
+//! The checker therefore resolves every concept reference to a stable
+//! [`ConceptId`] — an index into the checker's append-only concept table —
+//! producing the `RTy` form used by type equality, model lookup, and the
+//! translation to System F.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use system_f::Symbol;
+
+/// A resolved reference to a concept declaration.
+///
+/// Ids index the checker's append-only concept table; two references are
+/// the same concept exactly when their ids are equal, regardless of
+/// shadowing in the surface program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ConceptId(pub u32);
+
+/// A resolved type.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum RTy {
+    /// A type variable.
+    Var(Symbol),
+    /// `int`.
+    Int,
+    /// `bool`.
+    Bool,
+    /// `list τ`.
+    List(Box<RTy>),
+    /// `fn(τ̄) -> τ`.
+    Fn(Vec<RTy>, Box<RTy>),
+    /// `forall t̄ where …. τ`.
+    Forall {
+        /// Bound type variables.
+        vars: Vec<Symbol>,
+        /// Resolved `where` clause.
+        constraints: Vec<RConstraint>,
+        /// Body.
+        body: Box<RTy>,
+    },
+    /// An associated-type projection `C<τ̄>.s`.
+    Assoc {
+        /// The resolved concept.
+        concept: ConceptId,
+        /// The concept's (source) name, kept for display only.
+        concept_name: Symbol,
+        /// Type arguments.
+        args: Vec<RTy>,
+        /// The associated type's name.
+        name: Symbol,
+    },
+}
+
+/// A resolved `where`-clause constraint.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum RConstraint {
+    /// A concept requirement `C<τ̄>`.
+    Model {
+        /// The resolved concept.
+        concept: ConceptId,
+        /// The concept's (source) name, for display.
+        concept_name: Symbol,
+        /// Type arguments.
+        args: Vec<RTy>,
+    },
+    /// A same-type constraint `τ == τ′`.
+    SameTy(RTy, RTy),
+}
+
+impl RTy {
+    /// Convenience constructor for `fn(params…) -> ret`.
+    pub fn func(params: Vec<RTy>, ret: RTy) -> RTy {
+        RTy::Fn(params, Box::new(ret))
+    }
+
+    /// Convenience constructor for `list τ`.
+    pub fn list(elem: RTy) -> RTy {
+        RTy::List(Box::new(elem))
+    }
+
+    /// Returns `true` if the type contains no `Forall` anywhere — the
+    /// first-order fragment handled natively by congruence closure.
+    pub fn is_first_order(&self) -> bool {
+        match self {
+            RTy::Var(_) | RTy::Int | RTy::Bool => true,
+            RTy::List(t) => t.is_first_order(),
+            RTy::Fn(ps, r) => ps.iter().all(RTy::is_first_order) && r.is_first_order(),
+            RTy::Forall { .. } => false,
+            RTy::Assoc { args, .. } => args.iter().all(RTy::is_first_order),
+        }
+    }
+
+    /// Returns `true` if the type contains an associated-type projection.
+    pub fn has_assoc(&self) -> bool {
+        match self {
+            RTy::Var(_) | RTy::Int | RTy::Bool => false,
+            RTy::List(t) => t.has_assoc(),
+            RTy::Fn(ps, r) => ps.iter().any(RTy::has_assoc) || r.has_assoc(),
+            RTy::Forall {
+                constraints, body, ..
+            } => {
+                body.has_assoc()
+                    || constraints.iter().any(|c| match c {
+                        RConstraint::Model { args, .. } => args.iter().any(RTy::has_assoc),
+                        RConstraint::SameTy(a, b) => a.has_assoc() || b.has_assoc(),
+                    })
+            }
+            RTy::Assoc { .. } => true,
+        }
+    }
+
+    /// The number of AST nodes — used to prefer small representatives.
+    pub fn size(&self) -> usize {
+        match self {
+            RTy::Var(_) | RTy::Int | RTy::Bool => 1,
+            RTy::List(t) => 1 + t.size(),
+            RTy::Fn(ps, r) => 1 + ps.iter().map(RTy::size).sum::<usize>() + r.size(),
+            RTy::Forall {
+                constraints, body, ..
+            } => {
+                1 + body.size()
+                    + constraints
+                        .iter()
+                        .map(|c| match c {
+                            RConstraint::Model { args, .. } => {
+                                1 + args.iter().map(RTy::size).sum::<usize>()
+                            }
+                            RConstraint::SameTy(a, b) => 1 + a.size() + b.size(),
+                        })
+                        .sum::<usize>()
+            }
+            RTy::Assoc { args, .. } => 1 + args.iter().map(RTy::size).sum::<usize>(),
+        }
+    }
+
+    /// Collects the free type variables (binders in `Forall` excluded).
+    pub fn free_vars_into(&self, bound: &mut Vec<Symbol>, out: &mut Vec<Symbol>) {
+        match self {
+            RTy::Var(v) => {
+                if !bound.contains(v) && !out.contains(v) {
+                    out.push(*v);
+                }
+            }
+            RTy::Int | RTy::Bool => {}
+            RTy::List(t) => t.free_vars_into(bound, out),
+            RTy::Fn(ps, r) => {
+                for p in ps {
+                    p.free_vars_into(bound, out);
+                }
+                r.free_vars_into(bound, out);
+            }
+            RTy::Forall {
+                vars,
+                constraints,
+                body,
+            } => {
+                let n = bound.len();
+                bound.extend_from_slice(vars);
+                for c in constraints {
+                    match c {
+                        RConstraint::Model { args, .. } => {
+                            for a in args {
+                                a.free_vars_into(bound, out);
+                            }
+                        }
+                        RConstraint::SameTy(a, b) => {
+                            a.free_vars_into(bound, out);
+                            b.free_vars_into(bound, out);
+                        }
+                    }
+                }
+                body.free_vars_into(bound, out);
+                bound.truncate(n);
+            }
+            RTy::Assoc { args, .. } => {
+                for a in args {
+                    a.free_vars_into(bound, out);
+                }
+            }
+        }
+    }
+
+    /// The free type variables, in first-occurrence order.
+    pub fn free_vars(&self) -> Vec<Symbol> {
+        let mut out = Vec::new();
+        self.free_vars_into(&mut Vec::new(), &mut out);
+        out
+    }
+}
+
+/// Simultaneous capture-avoiding substitution of type variables.
+pub fn subst(ty: &RTy, map: &HashMap<Symbol, RTy>) -> RTy {
+    if map.is_empty() {
+        return ty.clone();
+    }
+    match ty {
+        RTy::Var(v) => map.get(v).cloned().unwrap_or_else(|| ty.clone()),
+        RTy::Int | RTy::Bool => ty.clone(),
+        RTy::List(t) => RTy::List(Box::new(subst(t, map))),
+        RTy::Fn(ps, r) => RTy::Fn(
+            ps.iter().map(|p| subst(p, map)).collect(),
+            Box::new(subst(r, map)),
+        ),
+        RTy::Forall {
+            vars,
+            constraints,
+            body,
+        } => {
+            let mut inner: HashMap<Symbol, RTy> = map
+                .iter()
+                .filter(|(k, _)| !vars.contains(k))
+                .map(|(k, v)| (*k, v.clone()))
+                .collect();
+            let mut range_fvs: Vec<Symbol> = Vec::new();
+            for v in inner.values() {
+                for fv in v.free_vars() {
+                    if !range_fvs.contains(&fv) {
+                        range_fvs.push(fv);
+                    }
+                }
+            }
+            let mut new_vars = Vec::with_capacity(vars.len());
+            for &v in vars {
+                if range_fvs.contains(&v) {
+                    let fresh = Symbol::fresh(v.as_str());
+                    inner.insert(v, RTy::Var(fresh));
+                    new_vars.push(fresh);
+                } else {
+                    new_vars.push(v);
+                }
+            }
+            RTy::Forall {
+                vars: new_vars,
+                constraints: constraints.iter().map(|c| subst_constraint(c, &inner)).collect(),
+                body: Box::new(subst(body, &inner)),
+            }
+        }
+        RTy::Assoc {
+            concept,
+            concept_name,
+            args,
+            name,
+        } => RTy::Assoc {
+            concept: *concept,
+            concept_name: *concept_name,
+            args: args.iter().map(|a| subst(a, map)).collect(),
+            name: *name,
+        },
+    }
+}
+
+/// Substitution over a constraint.
+pub fn subst_constraint(c: &RConstraint, map: &HashMap<Symbol, RTy>) -> RConstraint {
+    match c {
+        RConstraint::Model {
+            concept,
+            concept_name,
+            args,
+        } => RConstraint::Model {
+            concept: *concept,
+            concept_name: *concept_name,
+            args: args.iter().map(|a| subst(a, map)).collect(),
+        },
+        RConstraint::SameTy(a, b) => RConstraint::SameTy(subst(a, map), subst(b, map)),
+    }
+}
+
+impl fmt::Display for RTy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RTy::Var(v) => write!(f, "{v}"),
+            RTy::Int => write!(f, "int"),
+            RTy::Bool => write!(f, "bool"),
+            RTy::List(t) => {
+                if matches!(**t, RTy::Var(_) | RTy::Int | RTy::Bool) {
+                    write!(f, "list {t}")
+                } else {
+                    write!(f, "list ({t})")
+                }
+            }
+            RTy::Fn(ps, r) => {
+                write!(f, "fn(")?;
+                for (i, p) in ps.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, ") -> {r}")
+            }
+            RTy::Forall {
+                vars,
+                constraints,
+                body,
+            } => {
+                write!(f, "forall ")?;
+                for (i, v) in vars.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                if !constraints.is_empty() {
+                    write!(f, " where ")?;
+                    for (i, c) in constraints.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{c}")?;
+                    }
+                }
+                write!(f, ". {body}")
+            }
+            RTy::Assoc {
+                concept_name,
+                args,
+                name,
+                ..
+            } => {
+                write!(f, "{concept_name}<")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ">.{name}")
+            }
+        }
+    }
+}
+
+impl fmt::Display for RConstraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RConstraint::Model {
+                concept_name, args, ..
+            } => {
+                write!(f, "{concept_name}<")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ">")
+            }
+            RConstraint::SameTy(a, b) => write!(f, "{a} == {b}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(name: &str) -> Symbol {
+        Symbol::intern(name)
+    }
+    fn v(name: &str) -> RTy {
+        RTy::Var(s(name))
+    }
+    fn assoc(args: Vec<RTy>) -> RTy {
+        RTy::Assoc {
+            concept: ConceptId(0),
+            concept_name: s("Iterator"),
+            args,
+            name: s("elt"),
+        }
+    }
+
+    #[test]
+    fn first_order_classification() {
+        assert!(v("t").is_first_order());
+        assert!(assoc(vec![v("t")]).is_first_order());
+        let poly = RTy::Forall {
+            vars: vec![s("a")],
+            constraints: vec![],
+            body: Box::new(v("a")),
+        };
+        assert!(!poly.is_first_order());
+        assert!(!RTy::func(vec![poly], RTy::Int).is_first_order());
+    }
+
+    #[test]
+    fn has_assoc_detection() {
+        assert!(!v("t").has_assoc());
+        assert!(assoc(vec![v("t")]).has_assoc());
+        assert!(RTy::list(assoc(vec![RTy::Int])).has_assoc());
+    }
+
+    #[test]
+    fn free_vars_skip_binders_and_dedup() {
+        let t = RTy::Forall {
+            vars: vec![s("a")],
+            constraints: vec![RConstraint::SameTy(v("a"), v("b"))],
+            body: Box::new(RTy::func(vec![v("a"), v("b")], v("c"))),
+        };
+        assert_eq!(t.free_vars(), vec![s("b"), s("c")]);
+    }
+
+    #[test]
+    fn subst_hits_assoc_args() {
+        let t = assoc(vec![v("t")]);
+        let mut map = HashMap::new();
+        map.insert(s("t"), RTy::Int);
+        assert_eq!(subst(&t, &map), assoc(vec![RTy::Int]));
+    }
+
+    #[test]
+    fn subst_avoids_capture_in_forall() {
+        let t = RTy::Forall {
+            vars: vec![s("a")],
+            constraints: vec![],
+            body: Box::new(RTy::func(vec![v("a")], v("b"))),
+        };
+        let mut map = HashMap::new();
+        map.insert(s("b"), v("a"));
+        let r = subst(&t, &map);
+        if let RTy::Forall { vars, body, .. } = &r {
+            assert_ne!(vars[0], s("a"), "binder should have been renamed");
+            if let RTy::Fn(ps, ret) = &**body {
+                assert_eq!(ps[0], RTy::Var(vars[0]));
+                assert_eq!(**ret, v("a"));
+            } else {
+                panic!("bad body: {body:?}");
+            }
+        } else {
+            panic!("bad result: {r:?}");
+        }
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(assoc(vec![v("t")]).to_string(), "Iterator<t>.elt");
+        let t = RTy::Forall {
+            vars: vec![s("t")],
+            constraints: vec![RConstraint::Model {
+                concept: ConceptId(1),
+                concept_name: s("Monoid"),
+                args: vec![v("t")],
+            }],
+            body: Box::new(RTy::func(vec![RTy::list(v("t"))], v("t"))),
+        };
+        assert_eq!(t.to_string(), "forall t where Monoid<t>. fn(list t) -> t");
+    }
+
+    #[test]
+    fn size_counts_nodes() {
+        assert_eq!(v("t").size(), 1);
+        assert_eq!(RTy::func(vec![v("t")], RTy::Int).size(), 3);
+    }
+}

@@ -1,0 +1,669 @@
+//! Type equality for F_G: the congruence of declared same-type constraints.
+//!
+//! §5.1 of the paper: "Type checking is complicated by the addition of
+//! same-type constraints because type equality is no longer syntactic
+//! equality … Deciding type equality is equivalent to the quantifier free
+//! theory of equality with uninterpreted function symbols, for which there
+//! is an efficient O(n log n) time algorithm" — Nelson–Oppen congruence
+//! closure, provided by the [`congruence`] crate.
+//!
+//! F_G types are encoded as congruence terms over uninterpreted operators:
+//! `int`/`bool`/type variables are constants, `list` is unary, `fn` of
+//! arity *n* is an (n+1)-ary operator, and each associated-type projection
+//! `C.s` is an operator applied to the concept's type arguments. Universal
+//! types (`forall`) fall outside the first-order theory; they are compared
+//! structurally (up to alpha-renaming), recursing through this same
+//! procedure at every sub-position, and participate in the congruence as
+//! opaque constants keyed by a canonical rendering.
+//!
+//! The translation to System F needs one extra operation beyond equality:
+//! [`TypeEq::resolve`] rewrites a type to the *representative* of its
+//! equivalence class (preferring concrete, projection-free types), which is
+//! exactly how the paper collapses `Iterator<Iter1>.elt` and
+//! `Iterator<Iter2>.elt` to the single type parameter `elt1` in the
+//! translation of `merge` (§5.2).
+
+use std::collections::HashMap;
+
+use congruence::{Congruence, Op, TermId};
+use system_f::Symbol;
+
+use crate::rty::{ConceptId, RConstraint, RTy};
+
+/// Keys identifying uninterpreted operators.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum OpKey {
+    Int,
+    Bool,
+    List,
+    Fn(usize),
+    Var(Symbol),
+    Assoc(ConceptId, Symbol),
+    /// A universal type, keyed by canonical rendering.
+    Poly(String),
+}
+
+/// The scoped type-equality state.
+///
+/// Cloning is cheap enough to give same-type constraints lexical scope: the
+/// checker clones on entering a scope that asserts equalities and drops the
+/// clone on exit.
+#[derive(Debug, Clone, Default)]
+pub struct TypeEq {
+    cc: Congruence,
+    ops: HashMap<OpKey, Op>,
+    next_op: u32,
+    /// `decoded[t.index()]` is the type that first produced term `t`.
+    decoded: Vec<RTy>,
+    /// Type-alias names: never eligible as class representatives (they are
+    /// not System F binders, so the translation must never emit them).
+    banned: Vec<Symbol>,
+}
+
+/// Bound on `resolve` recursion, guarding against cyclic same-type
+/// constraints such as `t == list t`.
+const RESOLVE_DEPTH_LIMIT: usize = 64;
+
+impl TypeEq {
+    /// Creates an empty equality state (equality is syntactic).
+    pub fn new() -> TypeEq {
+        TypeEq::default()
+    }
+
+    /// Marks `name` as a type-alias variable: it may appear in programs but
+    /// will never be chosen as a class representative by
+    /// [`TypeEq::resolve`].
+    pub fn ban_representative(&mut self, name: Symbol) {
+        if !self.banned.contains(&name) {
+            self.banned.push(name);
+        }
+    }
+
+    /// Asserts `a == b`, closing under congruence.
+    pub fn assert_eq(&mut self, a: &RTy, b: &RTy) {
+        let ta = self.encode(a);
+        let tb = self.encode(b);
+        self.cc.merge(ta, tb);
+    }
+
+    /// Decides `a == b` under the asserted constraints.
+    pub fn eq(&mut self, a: &RTy, b: &RTy) -> bool {
+        if a == b {
+            return true;
+        }
+        let ta = self.encode(a);
+        let tb = self.encode(b);
+        if self.cc.eq(ta, tb) {
+            return true;
+        }
+        self.structural_eq(a, b, 0)
+    }
+
+    /// Structural comparison that recurses through [`TypeEq::eq`] at every
+    /// sub-position, alpha-renaming `forall` binders to depth-indexed
+    /// canonical names.
+    fn structural_eq(&mut self, a: &RTy, b: &RTy, depth: usize) -> bool {
+        match (a, b) {
+            (RTy::List(x), RTy::List(y)) => self.eq(x, y),
+            (RTy::Fn(ps, r), RTy::Fn(qs, s)) => {
+                ps.len() == qs.len()
+                    && ps.iter().zip(qs).all(|(p, q)| self.eq(p, q))
+                    && self.eq(r, s)
+            }
+            (
+                RTy::Assoc {
+                    concept: ca,
+                    args: aa,
+                    name: na,
+                    ..
+                },
+                RTy::Assoc {
+                    concept: cb,
+                    args: ab,
+                    name: nb,
+                    ..
+                },
+            ) => {
+                ca == cb
+                    && na == nb
+                    && aa.len() == ab.len()
+                    && aa.iter().zip(ab).all(|(x, y)| self.eq(x, y))
+            }
+            (
+                RTy::Forall {
+                    vars: va,
+                    constraints: ca,
+                    body: ba,
+                },
+                RTy::Forall {
+                    vars: vb,
+                    constraints: cb,
+                    body: bb,
+                },
+            ) => {
+                if va.len() != vb.len() || ca.len() != cb.len() {
+                    return false;
+                }
+                let canon: Vec<Symbol> = (0..va.len())
+                    .map(|i| Symbol::intern(&format!("#cmp{}_{}", depth, i)))
+                    .collect();
+                let map_a: HashMap<Symbol, RTy> = va
+                    .iter()
+                    .zip(&canon)
+                    .map(|(v, c)| (*v, RTy::Var(*c)))
+                    .collect();
+                let map_b: HashMap<Symbol, RTy> = vb
+                    .iter()
+                    .zip(&canon)
+                    .map(|(v, c)| (*v, RTy::Var(*c)))
+                    .collect();
+                let ba2 = crate::rty::subst(ba, &map_a);
+                let bb2 = crate::rty::subst(bb, &map_b);
+                for (x, y) in ca.iter().zip(cb) {
+                    let x2 = crate::rty::subst_constraint(x, &map_a);
+                    let y2 = crate::rty::subst_constraint(y, &map_b);
+                    let ok = match (&x2, &y2) {
+                        (
+                            RConstraint::Model {
+                                concept: c1,
+                                args: a1,
+                                ..
+                            },
+                            RConstraint::Model {
+                                concept: c2,
+                                args: a2,
+                                ..
+                            },
+                        ) => {
+                            c1 == c2
+                                && a1.len() == a2.len()
+                                && a1.iter().zip(a2).all(|(p, q)| self.eq(p, q))
+                        }
+                        (RConstraint::SameTy(l1, r1), RConstraint::SameTy(l2, r2)) => {
+                            self.eq(l1, l2) && self.eq(r1, r2)
+                        }
+                        _ => false,
+                    };
+                    if !ok {
+                        return false;
+                    }
+                }
+                // Recurse with structural_eq at the next depth so nested
+                // binders get distinct canonical names.
+                if ba2 == bb2 {
+                    return true;
+                }
+                let ta = self.encode(&ba2);
+                let tb = self.encode(&bb2);
+                if self.cc.eq(ta, tb) {
+                    return true;
+                }
+                self.structural_eq(&ba2, &bb2, depth + 1)
+            }
+            _ => false,
+        }
+    }
+
+    /// Rewrites `ty` to the best representative of its equivalence class,
+    /// recursing into sub-terms. "Best" prefers (in order): types free of
+    /// banned alias variables, types free of associated-type projections,
+    /// smaller types, earlier-created terms. The result is deterministic
+    /// for a given sequence of assertions.
+    pub fn resolve(&mut self, ty: &RTy) -> RTy {
+        self.resolve_at(ty, 0)
+    }
+
+    fn resolve_at(&mut self, ty: &RTy, depth: usize) -> RTy {
+        if depth > RESOLVE_DEPTH_LIMIT {
+            return ty.clone();
+        }
+        let best = self.class_best(ty);
+        match best {
+            RTy::Var(_) | RTy::Int | RTy::Bool => best,
+            RTy::List(t) => RTy::List(Box::new(self.resolve_at(&t, depth + 1))),
+            RTy::Fn(ps, r) => RTy::Fn(
+                ps.iter().map(|p| self.resolve_at(p, depth + 1)).collect(),
+                Box::new(self.resolve_at(&r, depth + 1)),
+            ),
+            RTy::Forall {
+                vars,
+                constraints,
+                body,
+            } => {
+                // Resolve inside the body, but do not rewrite the binders.
+                RTy::Forall {
+                    vars,
+                    constraints,
+                    body: Box::new(self.resolve_at(&body, depth + 1)),
+                }
+            }
+            RTy::Assoc {
+                concept,
+                concept_name,
+                args,
+                name,
+            } => RTy::Assoc {
+                concept,
+                concept_name,
+                args: args.iter().map(|a| self.resolve_at(a, depth + 1)).collect(),
+                name,
+            },
+        }
+    }
+
+    /// All known members of `ty`'s equivalence class (excluding `ty`
+    /// itself unless it was separately encoded), in creation order. Used by
+    /// the checker to view a type as a function or universal type through
+    /// declared equalities.
+    pub fn class_members(&mut self, ty: &RTy) -> Vec<RTy> {
+        let id = self.encode(ty);
+        let root = self.cc.find(id);
+        let mut out = Vec::new();
+        for i in 0..self.decoded.len() {
+            if self.cc.find(congruence_term_id(i)) == root {
+                let cand = self.decoded[i].clone();
+                if !out.contains(&cand) {
+                    out.push(cand);
+                }
+            }
+        }
+        out
+    }
+
+    /// Picks the best member of `ty`'s equivalence class (possibly `ty`
+    /// itself), without recursing into sub-terms.
+    ///
+    /// The ordering matters for the translation's type preservation:
+    /// banned alias variables lose to everything, projection-containing
+    /// types lose to projection-free ones, and — among projection-free
+    /// members — a *bare type variable* loses to a structured type (a
+    /// class `{t, fn(int) -> int}` from a `t == fn(int) -> int` constraint
+    /// must translate `t`'s uses to the function type, or elimination
+    /// forms in the System F output would be stuck on `t`).
+    fn class_best(&mut self, ty: &RTy) -> RTy {
+        let id = self.encode(ty);
+        let root = self.cc.find(id);
+        let key_of = |te: &mut Self, t: &RTy, idx: usize| {
+            (
+                te.score(t),
+                u32::from(matches!(t, RTy::Var(_))),
+                t.size(),
+                idx,
+            )
+        };
+        let mut best_key = key_of(self, ty, id.index());
+        let mut best = ty.clone();
+        for i in 0..self.decoded.len() {
+            let candidate_id = congruence_term_id(i);
+            if self.cc.find(candidate_id) != root {
+                continue;
+            }
+            let cand = self.decoded[i].clone();
+            let key = key_of(self, &cand, i);
+            if key < best_key {
+                best_key = key;
+                best = cand;
+            }
+        }
+        best
+    }
+
+    fn score(&self, ty: &RTy) -> u32 {
+        let banned = ty
+            .free_vars()
+            .iter()
+            .any(|v| self.banned.contains(v));
+        if banned {
+            2
+        } else if ty.has_assoc() {
+            1
+        } else {
+            0
+        }
+    }
+
+    fn op(&mut self, key: OpKey) -> Op {
+        if let Some(&op) = self.ops.get(&key) {
+            return op;
+        }
+        let op = Op(self.next_op);
+        self.next_op += 1;
+        self.ops.insert(key, op);
+        op
+    }
+
+    /// Encodes a type into the congruence term bank (hash-consed).
+    fn encode(&mut self, ty: &RTy) -> TermId {
+        let id = match ty {
+            RTy::Var(v) => {
+                let op = self.op(OpKey::Var(*v));
+                self.cc.constant(op)
+            }
+            RTy::Int => {
+                let op = self.op(OpKey::Int);
+                self.cc.constant(op)
+            }
+            RTy::Bool => {
+                let op = self.op(OpKey::Bool);
+                self.cc.constant(op)
+            }
+            RTy::List(t) => {
+                let c = self.encode(t);
+                let op = self.op(OpKey::List);
+                self.cc.term(op, &[c])
+            }
+            RTy::Fn(ps, r) => {
+                let mut children: Vec<TermId> = ps.iter().map(|p| self.encode(p)).collect();
+                children.push(self.encode(r));
+                let op = self.op(OpKey::Fn(ps.len()));
+                self.cc.term(op, &children)
+            }
+            RTy::Assoc {
+                concept, args, name, ..
+            } => {
+                let children: Vec<TermId> = args.iter().map(|a| self.encode(a)).collect();
+                let op = self.op(OpKey::Assoc(*concept, *name));
+                self.cc.term(op, &children)
+            }
+            RTy::Forall { .. } => {
+                let rendering = self.canon(ty, &mut Vec::new());
+                let op = self.op(OpKey::Poly(rendering));
+                self.cc.constant(op)
+            }
+        };
+        while self.decoded.len() < self.cc.len() {
+            // Any newly created term (including children) decodes to the
+            // type that created it; children were pushed by their own
+            // recursive `encode` calls, so only `id` can be missing here.
+            self.decoded.push(ty.clone());
+        }
+        id
+    }
+
+    /// Canonical rendering for universal types: binders become de Bruijn
+    /// indices; maximal closed first-order sub-terms become their current
+    /// class root (so congruent sub-terms render identically).
+    fn canon(&mut self, ty: &RTy, bound: &mut Vec<Symbol>) -> String {
+        let closed_first_order = ty.is_first_order()
+            && ty.free_vars().iter().all(|v| !bound.contains(v));
+        if closed_first_order {
+            let id = self.encode(ty);
+            return format!("#{}", self.cc.find(id).index());
+        }
+        match ty {
+            RTy::Var(v) => match bound.iter().rposition(|b| b == v) {
+                Some(i) => format!("${i}"),
+                None => format!("?{v}"),
+            },
+            RTy::Int => "int".to_owned(),
+            RTy::Bool => "bool".to_owned(),
+            RTy::List(t) => format!("list({})", self.canon(t, bound)),
+            RTy::Fn(ps, r) => {
+                let parts: Vec<String> = ps.iter().map(|p| self.canon(p, bound)).collect();
+                format!("fn({})->{}", parts.join(","), self.canon(r, bound))
+            }
+            RTy::Assoc {
+                concept, args, name, ..
+            } => {
+                let parts: Vec<String> = args.iter().map(|a| self.canon(a, bound)).collect();
+                format!("assoc{}:{}({})", concept.0, name, parts.join(","))
+            }
+            RTy::Forall {
+                vars,
+                constraints,
+                body,
+            } => {
+                let n = bound.len();
+                bound.extend_from_slice(vars);
+                let cs: Vec<String> = constraints
+                    .iter()
+                    .map(|c| match c {
+                        RConstraint::Model { concept, args, .. } => {
+                            let parts: Vec<String> =
+                                args.iter().map(|a| self.canon(a, bound)).collect();
+                            format!("mdl{}({})", concept.0, parts.join(","))
+                        }
+                        RConstraint::SameTy(a, b) => {
+                            format!("{}=={}", self.canon(a, bound), self.canon(b, bound))
+                        }
+                    })
+                    .collect();
+                let s = format!(
+                    "forall/{}[{}].{}",
+                    vars.len(),
+                    cs.join(";"),
+                    self.canon(body, bound)
+                );
+                bound.truncate(n);
+                s
+            }
+        }
+    }
+}
+
+/// Rebuilds a [`TermId`] from a raw index. The congruence crate keeps the
+/// constructor private; ids are dense, so indexing `0..cc.len()` is safe.
+fn congruence_term_id(index: usize) -> TermId {
+    // TermId is ordered and dense; reconstruct via transmute-free trick:
+    // Congruence hash-conses, so re-encoding is not possible here. Instead
+    // we rely on TermId implementing Ord + index(); build by search is
+    // O(n), so we use the public from-index constructor added below.
+    TermId::from_raw_index(index)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(n: &str) -> Symbol {
+        Symbol::intern(n)
+    }
+    fn v(n: &str) -> RTy {
+        RTy::Var(s(n))
+    }
+    fn assoc(concept: u32, args: Vec<RTy>, name: &str) -> RTy {
+        RTy::Assoc {
+            concept: ConceptId(concept),
+            concept_name: s("C"),
+            args,
+            name: s(name),
+        }
+    }
+
+    #[test]
+    fn syntactic_equality_is_free() {
+        let mut te = TypeEq::new();
+        assert!(te.eq(&RTy::Int, &RTy::Int));
+        assert!(!te.eq(&RTy::Int, &RTy::Bool));
+        assert!(te.eq(&v("t"), &v("t")));
+        assert!(!te.eq(&v("t"), &v("u")));
+    }
+
+    #[test]
+    fn asserted_equalities_hold() {
+        let mut te = TypeEq::new();
+        te.assert_eq(&v("t"), &RTy::Int);
+        assert!(te.eq(&v("t"), &RTy::Int));
+        assert!(!te.eq(&v("t"), &RTy::Bool));
+    }
+
+    #[test]
+    fn congruence_through_constructors() {
+        let mut te = TypeEq::new();
+        te.assert_eq(&v("t"), &v("u"));
+        assert!(te.eq(&RTy::list(v("t")), &RTy::list(v("u"))));
+        assert!(te.eq(
+            &RTy::func(vec![v("t")], RTy::Int),
+            &RTy::func(vec![v("u")], RTy::Int)
+        ));
+        assert!(!te.eq(
+            &RTy::func(vec![v("t")], RTy::Int),
+            &RTy::func(vec![v("u"), v("u")], RTy::Int)
+        ));
+    }
+
+    #[test]
+    fn assoc_projections_are_congruent_in_args() {
+        // Iterator<I1>.elt == Iterator<I2>.elt follows from I1 == I2.
+        let mut te = TypeEq::new();
+        te.assert_eq(&v("I1"), &v("I2"));
+        assert!(te.eq(
+            &assoc(0, vec![v("I1")], "elt"),
+            &assoc(0, vec![v("I2")], "elt")
+        ));
+        // But distinct concepts or names stay distinct.
+        assert!(!te.eq(
+            &assoc(0, vec![v("I1")], "elt"),
+            &assoc(1, vec![v("I1")], "elt")
+        ));
+    }
+
+    #[test]
+    fn merge_example_same_type_constraint() {
+        // The paper's merge: Iterator<I1>.elt = Iterator<I2>.elt asserted
+        // directly, with I1 and I2 unrelated.
+        let mut te = TypeEq::new();
+        let e1 = assoc(0, vec![v("I1")], "elt");
+        let e2 = assoc(0, vec![v("I2")], "elt");
+        te.assert_eq(&e1, &e2);
+        assert!(te.eq(&e1, &e2));
+        assert!(!te.eq(&v("I1"), &v("I2")));
+        assert!(te.eq(&RTy::list(e1), &RTy::list(e2)));
+    }
+
+    #[test]
+    fn transitivity_through_concrete_types() {
+        let mut te = TypeEq::new();
+        let e1 = assoc(0, vec![v("I")], "elt");
+        te.assert_eq(&e1, &RTy::Int);
+        te.assert_eq(&v("x"), &e1);
+        assert!(te.eq(&v("x"), &RTy::Int));
+    }
+
+    #[test]
+    fn resolve_prefers_concrete_types() {
+        let mut te = TypeEq::new();
+        let e1 = assoc(0, vec![v("I")], "elt");
+        te.assert_eq(&e1, &RTy::Int);
+        assert_eq!(te.resolve(&e1), RTy::Int);
+        assert_eq!(te.resolve(&RTy::list(e1)), RTy::list(RTy::Int));
+    }
+
+    #[test]
+    fn resolve_prefers_fresh_var_over_projection() {
+        let mut te = TypeEq::new();
+        let proj = assoc(0, vec![v("I")], "elt");
+        te.assert_eq(&RTy::Var(s("elt1")), &proj);
+        assert_eq!(te.resolve(&proj), v("elt1"));
+    }
+
+    #[test]
+    fn resolve_picks_first_created_on_ties() {
+        // Both elt1 and elt2 are plain vars in the same class; the earlier
+        // encoded one wins — the paper's "elt1 was chosen".
+        let mut te = TypeEq::new();
+        let p1 = assoc(0, vec![v("J1")], "elt");
+        let p2 = assoc(0, vec![v("J2")], "elt");
+        te.assert_eq(&RTy::Var(s("elt1")), &p1);
+        te.assert_eq(&RTy::Var(s("elt2")), &p2);
+        te.assert_eq(&p1, &p2);
+        assert_eq!(te.resolve(&p1), v("elt1"));
+        assert_eq!(te.resolve(&p2), v("elt1"));
+        assert_eq!(te.resolve(&v("elt2")), v("elt1"));
+    }
+
+    #[test]
+    fn banned_alias_vars_are_never_representatives() {
+        let mut te = TypeEq::new();
+        te.ban_representative(s("alias"));
+        te.assert_eq(&v("alias"), &RTy::list(RTy::Int));
+        assert_eq!(te.resolve(&v("alias")), RTy::list(RTy::Int));
+        assert!(te.eq(&v("alias"), &RTy::list(RTy::Int)));
+    }
+
+    #[test]
+    fn alpha_equivalence_of_foralls() {
+        let mut te = TypeEq::new();
+        let f1 = RTy::Forall {
+            vars: vec![s("a")],
+            constraints: vec![],
+            body: Box::new(RTy::func(vec![v("a")], v("a"))),
+        };
+        let f2 = RTy::Forall {
+            vars: vec![s("b")],
+            constraints: vec![],
+            body: Box::new(RTy::func(vec![v("b")], v("b"))),
+        };
+        assert!(te.eq(&f1, &f2));
+        let f3 = RTy::Forall {
+            vars: vec![s("b")],
+            constraints: vec![],
+            body: Box::new(RTy::func(vec![v("b")], RTy::Int)),
+        };
+        assert!(!te.eq(&f1, &f3));
+    }
+
+    #[test]
+    fn foralls_respect_leaf_equalities() {
+        let mut te = TypeEq::new();
+        te.assert_eq(&v("t"), &RTy::Int);
+        let f1 = RTy::Forall {
+            vars: vec![s("a")],
+            constraints: vec![],
+            body: Box::new(RTy::func(vec![v("a")], v("t"))),
+        };
+        let f2 = RTy::Forall {
+            vars: vec![s("b")],
+            constraints: vec![],
+            body: Box::new(RTy::func(vec![v("b")], RTy::Int)),
+        };
+        assert!(te.eq(&f1, &f2));
+    }
+
+    #[test]
+    fn clone_scopes_equalities() {
+        let mut outer = TypeEq::new();
+        outer.assert_eq(&v("t"), &RTy::Int);
+        let mut inner = outer.clone();
+        inner.assert_eq(&v("u"), &RTy::Bool);
+        assert!(inner.eq(&v("t"), &RTy::Int));
+        assert!(inner.eq(&v("u"), &RTy::Bool));
+        assert!(outer.eq(&v("t"), &RTy::Int));
+        assert!(!outer.eq(&v("u"), &RTy::Bool));
+    }
+
+    #[test]
+    fn cyclic_constraints_terminate() {
+        let mut te = TypeEq::new();
+        te.assert_eq(&v("t"), &RTy::list(v("t")));
+        assert!(te.eq(&v("t"), &RTy::list(v("t"))));
+        // resolve must not hang.
+        let _ = te.resolve(&v("t"));
+    }
+
+    #[test]
+    fn nested_foralls_alpha() {
+        let mut te = TypeEq::new();
+        let mk = |outer: &str, inner: &str| RTy::Forall {
+            vars: vec![s(outer)],
+            constraints: vec![],
+            body: Box::new(RTy::Forall {
+                vars: vec![s(inner)],
+                constraints: vec![],
+                body: Box::new(RTy::func(vec![RTy::Var(s(outer))], RTy::Var(s(inner)))),
+            }),
+        };
+        assert!(te.eq(&mk("a", "b"), &mk("x", "y")));
+        // Swapped uses are different.
+        let swapped = RTy::Forall {
+            vars: vec![s("a")],
+            constraints: vec![],
+            body: Box::new(RTy::Forall {
+                vars: vec![s("b")],
+                constraints: vec![],
+                body: Box::new(RTy::func(vec![v("b")], v("a"))),
+            }),
+        };
+        assert!(!te.eq(&mk("a", "b"), &swapped));
+    }
+}

@@ -1,0 +1,45 @@
+//! Robustness: the front end never panics — arbitrary byte soup produces
+//! `Err`, not a crash, at every pipeline stage.
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary strings lex/parse to a clean error or a valid AST.
+    #[test]
+    fn parser_never_panics(src in "\\PC{0,200}") {
+        let _ = fg::parser::parse_expr(&src);
+        let _ = fg::parser::parse_fg_ty(&src);
+        let _ = system_f::parse_term(&src);
+        let _ = system_f::parse_ty(&src);
+    }
+
+    /// Token-shaped soup (identifiers, punctuation, keywords) exercises the
+    /// parser deeper than raw bytes; still no panics, and anything that
+    /// parses must also survive the checker without crashing.
+    #[test]
+    fn checker_never_panics(words in proptest::collection::vec(
+        prop_oneof![
+            Just("concept".to_owned()), Just("model".to_owned()),
+            Just("let".to_owned()), Just("in".to_owned()),
+            Just("biglam".to_owned()), Just("lam".to_owned()),
+            Just("where".to_owned()), Just("refines".to_owned()),
+            Just("types".to_owned()), Just("forall".to_owned()),
+            Just("int".to_owned()), Just("iadd".to_owned()),
+            Just("x".to_owned()), Just("t".to_owned()), Just("C".to_owned()),
+            Just("<".to_owned()), Just(">".to_owned()), Just("(".to_owned()),
+            Just(")".to_owned()), Just("{".to_owned()), Just("}".to_owned()),
+            Just(".".to_owned()), Just(",".to_owned()), Just(":".to_owned()),
+            Just(";".to_owned()), Just("=".to_owned()), Just("==".to_owned()),
+            Just("->".to_owned()), Just("1".to_owned()),
+        ],
+        0..40,
+    )) {
+        let src = words.join(" ");
+        if let Ok(expr) = fg::parser::parse_expr(&src) {
+            // Must not panic; errors are fine.
+            let _ = fg::check_program(&expr);
+        }
+    }
+}

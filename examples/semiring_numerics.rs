@@ -1,0 +1,47 @@
+//! Generic numerics over algebraic concepts — the MTL/uBLAS exercise.
+//!
+//! The paper's introduction cites generic libraries for numerical linear
+//! algebra (the first author's MTL, Boost uBLAS). This example drives
+//! `fg::linalg`: `dot`, `axpy`, `horner`, and `mat_vec` written once
+//! against a `Semiring` concept, then run over two different carriers —
+//! the integers with (+, ×) and the booleans with (∨, ∧), where
+//! matrix-vector multiplication *is* one step of graph reachability.
+//!
+//! Run with: `cargo run --example semiring_numerics`
+
+use fg_lang::fg::linalg::with_linalg;
+use fg_lang::fg::run;
+
+fn show(body: &str) {
+    let v = run(&with_linalg(body)).unwrap_or_else(|e| panic!("{body}: {e}"));
+    println!("  {body:<66} = {v}");
+}
+
+fn main() {
+    println!("the int semiring (+, x):");
+    show("dot[int](range_vec(1, 4), range_vec(4, 7))");
+    show("horner[int](range_vec(1, 4), 10)");
+    show("vec_sum[int](axpy[int](2, range_vec(1, 3), range_vec(10, 12)))");
+
+    println!("\nthe bool semiring (or, and) — reachability algebra:");
+    show("dot[bool](cons[bool](false, cons[bool](true, nil[bool])), cons[bool](true, cons[bool](true, nil[bool])))");
+    show("horner[bool](cons[bool](false, cons[bool](true, nil[bool])), true)");
+
+    println!("\nmatrix-vector product over either semiring:");
+    show(
+        "vec_sum[int](mat_vec[int](cons[list int](range_vec(1, 3), \
+         cons[list int](range_vec(3, 5), nil[list int])), range_vec(5, 7)))",
+    );
+
+    println!("\nvectors of vectors via the constrained parameterized model");
+    println!("(model forall t where AdditiveMonoid<t>. AdditiveMonoid<list t>):");
+    show(
+        "vec_sum[int](car[list int](AdditiveMonoid<list (list int)>.add(\
+         cons[list int](range_vec(1, 4), nil[list int]), \
+         cons[list int](range_vec(10, 13), nil[list int]))))",
+    );
+
+    println!("\nwith implicit instantiation (section 6) the brackets go away:");
+    show("dot(range_vec(1, 4), range_vec(4, 7))");
+    show("vec_sum(range_vec(0, 10))");
+}

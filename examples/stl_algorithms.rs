@@ -1,0 +1,49 @@
+//! A taste of generic programming in the large: the STL-flavoured prelude.
+//!
+//! The paper's motivation is the C++ standard library and the Boost Graph
+//! Library: real generic libraries are *hierarchies* of concepts with many
+//! algorithms written against them. `fg::stdlib` is such a library written
+//! in F_G; this example drives its algorithms the way a user program
+//! would.
+//!
+//! Run with: `cargo run --example stl_algorithms`
+
+use fg_lang::fg::stdlib::with_prelude;
+use fg_lang::fg::run;
+
+fn show(body: &str) {
+    let v = run(&with_prelude(body)).unwrap_or_else(|e| panic!("{body}: {e}"));
+    println!("{body:<72} = {v}");
+}
+
+fn main() {
+    println!("-- algebraic fold (Figure 5's accumulate over the prelude's Monoid) --");
+    show("accumulate[int](range(1, 101))");
+    show("it_accumulate[list int](range(1, 11))");
+
+    println!("\n-- a multiplicative Monoid in a local scope (Figure 6) --");
+    show(
+        "let product = \
+           model Semigroup<int> { binary_op = imult; } in \
+           model Monoid<int> { identity_elt = 1; } in accumulate[int] \
+         in product(range(1, 7))",
+    );
+
+    println!("\n-- iterator algorithms over the associated element type (section 5) --");
+    show("count_if[list int](range(0, 20), lam x: int. ilt(x, 5))");
+    show("all_of[list int](range(1, 10), lam x: int. ilt(0, x))");
+    show("any_of[list int](range(1, 10), lam x: int. ilt(x, 0))");
+    show("min_element[list int](cons[int](4, cons[int](2, cons[int](9, nil[int]))))");
+    show("contains[list int](range(0, 10), 7)");
+
+    println!("\n-- copy through an output iterator (section 5.2) --");
+    show("reverse[int](range(1, 6))");
+    show("length[int](append[int](range(0, 3), reverse[int](range(0, 4))))");
+
+    println!("\n-- defaulted members (section 6 extension) --");
+    show("EqualityComparable<int>.not_equal(2, 3)");
+    show("LessThanComparable<int>.less_equal(3, 3)");
+
+    println!("\n-- the Group refinement chain: op through two levels --");
+    show("Group<int>.binary_op(Group<int>.inverse(5), 47)");
+}

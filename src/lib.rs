@@ -1,0 +1,34 @@
+//! `fg-lang` — a reproduction of *Essential Language Support for Generic
+//! Programming* (Siek and Lumsdaine, PLDI 2005).
+//!
+//! This meta-crate re-exports the workspace's three libraries:
+//!
+//! * [`fg`] — the F_G language: System F plus concepts, models, where
+//!   clauses, associated types, and same-type constraints, with the
+//!   paper's dictionary-passing translation to System F.
+//! * [`system_f`] — the translation target: a full System F
+//!   implementation (typechecker, evaluator, parser, pretty-printer).
+//! * [`congruence`] — union-find and Nelson–Oppen congruence closure,
+//!   the decision procedure behind same-type constraints (§5.1).
+//!
+//! See `README.md` for a tour, `DESIGN.md` for the system inventory, and
+//! `EXPERIMENTS.md` for the paper-versus-measured record.
+//!
+//! ```
+//! use fg_lang::fg;
+//!
+//! let v = fg::run(
+//!     "concept Number<u> { mult : fn(u, u) -> u; } in
+//!      let square = biglam t where Number<t>. lam x: t. Number<t>.mult(x, x) in
+//!      model Number<int> { mult = imult; } in
+//!      square[int](4)",
+//! ).unwrap();
+//! assert_eq!(v, fg_lang::system_f::Value::Int(16));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use congruence;
+pub use fg;
+pub use system_f;
