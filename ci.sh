@@ -1,0 +1,9 @@
+#!/bin/sh
+# Local CI gate: everything a PR must pass, runnable fully offline.
+# Usage: ./ci.sh
+set -eux
+
+cargo build --release --offline
+cargo test -q --offline
+cargo test -q --workspace --offline
+cargo clippy --workspace --all-targets --offline -- -D warnings

@@ -140,6 +140,40 @@ pub struct Congruence {
     /// Signature table: (op, canonical children) -> some term with that
     /// signature. Rebuilt lazily during merges.
     sigs: HashMap<Node, TermId>,
+    stats: CcStats,
+}
+
+/// Running operation counts for one [`Congruence`] instance.
+///
+/// The counters are plain integer adds on paths already dominated by
+/// hashing and vector traffic, so they are always on; `terms` is a gauge
+/// (the current term-bank size), the rest are monotonic. Clones inherit
+/// the parent's counts and diverge from there — see
+/// `CcStats::delta_since` for scoped accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CcStats {
+    /// Current number of distinct terms in the bank (gauge).
+    pub terms: u64,
+    /// `merge` invocations (asserted equations).
+    pub merges: u64,
+    /// Classes actually unioned (including congruence propagation).
+    pub unions: u64,
+    /// Path-compressing `find` operations.
+    pub finds: u64,
+}
+
+impl CcStats {
+    /// The monotonic counters accumulated since `base` was captured from
+    /// the same (or an ancestor) instance. The `terms` gauge carries the
+    /// *peak* of the two snapshots rather than a difference.
+    pub fn delta_since(&self, base: &CcStats) -> CcStats {
+        CcStats {
+            terms: self.terms.max(base.terms),
+            merges: self.merges.saturating_sub(base.merges),
+            unions: self.unions.saturating_sub(base.unions),
+            finds: self.finds.saturating_sub(base.finds),
+        }
+    }
 }
 
 impl Congruence {
@@ -156,6 +190,15 @@ impl Congruence {
     /// Returns `true` if no terms have been created.
     pub fn is_empty(&self) -> bool {
         self.nodes.is_empty()
+    }
+
+    /// Snapshot of the operation counters (with `terms` as the current
+    /// term-bank size).
+    pub fn stats(&self) -> CcStats {
+        CcStats {
+            terms: self.nodes.len() as u64,
+            ..self.stats
+        }
     }
 
     /// Creates (or retrieves) the constant term `op`.
@@ -220,6 +263,7 @@ impl Congruence {
     /// Asserts that `a` and `b` denote the same value, propagating all
     /// consequences of the congruence axiom.
     pub fn merge(&mut self, a: TermId, b: TermId) {
+        self.stats.merges += 1;
         let mut pending = vec![(a, b)];
         while let Some((x, y)) = pending.pop() {
             let rx = self.find(x);
@@ -227,6 +271,7 @@ impl Congruence {
             if rx == ry {
                 continue;
             }
+            self.stats.unions += 1;
             // Union by use-list size: move the smaller list.
             let (small, big) = if self.use_list[rx.index()].len() <= self.use_list[ry.index()].len()
             {
@@ -265,6 +310,7 @@ impl Congruence {
     /// as class keys (the F_G → System F translation does exactly this to
     /// pick one System F type per same-type equivalence class).
     pub fn find(&mut self, t: TermId) -> TermId {
+        self.stats.finds += 1;
         TermId::from_index(self.uf.find(t.index()))
     }
 
@@ -482,5 +528,52 @@ mod tests {
         assert!(!cc.eq(fab, fac));
         cc.merge(b, c);
         assert!(cc.eq(fab, fac));
+    }
+
+    #[test]
+    fn stats_count_operations() {
+        let mut cc = Congruence::new();
+        assert_eq!(cc.stats(), CcStats::default());
+        let a = cc.constant(Op(0));
+        let b = cc.constant(Op(1));
+        let fa = cc.term(f(), &[a]);
+        let fb = cc.term(f(), &[b]);
+        let s0 = cc.stats();
+        assert_eq!(s0.terms, 4);
+        assert_eq!(s0.merges, 0);
+        assert_eq!(s0.unions, 0);
+        cc.merge(a, b);
+        let s1 = cc.stats();
+        assert_eq!(s1.merges, 1);
+        // merging a~b unions two classes: {a,b} and, by congruence
+        // propagation, {f(a), f(b)}.
+        assert_eq!(s1.unions, 2);
+        assert!(s1.finds > s0.finds);
+        assert!(cc.eq(fa, fb));
+    }
+
+    #[test]
+    fn stats_delta_since_subtracts_monotonic_counters() {
+        let mut cc = Congruence::new();
+        let a = cc.constant(Op(0));
+        let b = cc.constant(Op(1));
+        let base = cc.stats();
+        cc.merge(a, b);
+        cc.find(a);
+        let delta = cc.stats().delta_since(&base);
+        assert_eq!(delta.merges, 1);
+        assert_eq!(delta.unions, 1);
+        assert!(delta.finds > 0);
+        // `terms` is a gauge: the delta carries the peak, not a difference.
+        assert_eq!(delta.terms, 2);
+        // A clone inherits the parent's counts, so deltas against the
+        // parent's snapshot measure only the clone's own work.
+        let snap = cc.stats();
+        let mut scoped = cc.clone();
+        let c = scoped.constant(Op(2));
+        scoped.merge(a, c);
+        let scoped_delta = scoped.stats().delta_since(&snap);
+        assert_eq!(scoped_delta.merges, 1);
+        assert_eq!(cc.stats().delta_since(&snap).merges, 0);
     }
 }

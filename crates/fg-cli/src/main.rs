@@ -11,15 +11,28 @@
 //! Pass `-` as the file to read from stdin, or `--prelude` before the
 //! subcommand to wrap the program in the STL-flavoured prelude of
 //! `fg::stdlib`.
+//!
+//! # Telemetry
+//!
+//! `--profile` prints a phase/counter table to stderr after the command
+//! finishes; `--metrics-json <path>` writes the same data as an
+//! `fg-metrics/1` JSON document (`-` for stdout). Both flags may appear
+//! anywhere before the file argument and work with every subcommand that
+//! runs the pipeline (`check`, `translate`, `elaborate`, `run`, `direct`,
+//! `vm`, `bytecode`). See the `telemetry` crate for the schema and
+//! DESIGN.md for the counter glossary.
 
 use std::io::Read;
 use std::process::ExitCode;
+
+use telemetry::Metrics;
 
 mod repl;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: fg [--prelude] <check|translate|run|direct|elaborate|ast> <file.fg|->  |  fg [--prelude] repl\n\
+        "usage: fg [--prelude] [--profile] [--metrics-json <path>] \
+         <check|translate|run|direct|elaborate|vm|bytecode|fmt|ast> <file.fg|->  |  fg [--prelude] repl\n\
          \n\
          check      typecheck and print the F_G type\n\
          translate  print the dictionary-passing System F translation\n\
@@ -30,21 +43,59 @@ fn usage() -> ExitCode {
          bytecode   print the compiled bytecode (disassembly)\n\
          fmt        reformat the program\n\
          ast        print the parsed AST\n\
-         repl       interactive session (no file argument)"
+         repl       interactive session (no file argument)\n\
+         \n\
+         --prelude             wrap the program in the stdlib prelude\n\
+         --profile             print phase timings and counters to stderr\n\
+         --metrics-json <path> write an fg-metrics/1 JSON report (- for stdout)"
     );
     ExitCode::from(2)
 }
 
+/// Flags accepted in any order before the positional arguments.
+#[derive(Default)]
+struct Flags {
+    use_prelude: bool,
+    profile: bool,
+    metrics_json: Option<String>,
+}
+
+fn parse_flags(args: &mut Vec<String>) -> Result<Flags, ExitCode> {
+    let mut flags = Flags::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--prelude" => {
+                flags.use_prelude = true;
+                args.remove(i);
+            }
+            "--profile" => {
+                flags.profile = true;
+                args.remove(i);
+            }
+            "--metrics-json" => {
+                if i + 1 >= args.len() {
+                    eprintln!("fg: --metrics-json needs a path argument");
+                    return Err(usage());
+                }
+                args.remove(i);
+                flags.metrics_json = Some(args.remove(i));
+            }
+            _ => i += 1,
+        }
+    }
+    Ok(flags)
+}
+
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let mut use_prelude = false;
-    if args.first().map(String::as_str) == Some("--prelude") {
-        use_prelude = true;
-        args.remove(0);
-    }
+    let flags = match parse_flags(&mut args) {
+        Ok(f) => f,
+        Err(code) => return code,
+    };
     if args.as_slice() == ["repl"] {
         let stdin = std::io::stdin();
-        return match repl::run_repl(stdin.lock(), std::io::stdout(), use_prelude) {
+        return match repl::run_repl(stdin.lock(), std::io::stdout(), flags.use_prelude) {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
                 eprintln!("fg: io error: {e}");
@@ -62,6 +113,10 @@ fn main() -> ExitCode {
     ) {
         return usage();
     }
+    let mut metrics = Metrics::new();
+    metrics.set_command(cmd);
+    metrics.set_source(path);
+
     let source = match read_source(path) {
         Ok(s) => s,
         Err(e) => {
@@ -69,13 +124,14 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let full = if use_prelude {
+    let full = if flags.use_prelude {
         fg::stdlib::with_prelude(&source)
     } else {
         source
     };
 
-    let expr = match fg::parser::parse_expr(&full) {
+    let parsed = metrics.phase("parse", || fg::parser::parse_expr(&full));
+    let expr = match parsed {
         Ok(e) => e,
         Err(e) => {
             eprintln!("fg: parse error: {e}");
@@ -85,81 +141,189 @@ fn main() -> ExitCode {
 
     if cmd == "ast" {
         println!("{expr:#?}");
-        return ExitCode::SUCCESS;
+        return finish(flags, metrics);
     }
     if cmd == "fmt" {
         print!("{}", fg::format::format_program(&expr));
-        return ExitCode::SUCCESS;
+        return finish(flags, metrics);
     }
-    let compiled = match fg::check_program(&expr) {
+    // A large Err variant is fine here: this runs once per invocation.
+    #[allow(clippy::result_large_err)]
+    let checked = metrics.phase("check_translate", || fg::check_program(&expr));
+    let compiled = match checked {
         Ok(c) => c,
         Err(e) => {
             eprintln!("fg: {}", e.render(&full));
             return ExitCode::FAILURE;
         }
     };
+    record_check_stats(&mut metrics, &compiled);
 
-    match cmd.as_str() {
+    let status: Result<(), ExitCode> = match cmd.as_str() {
         "check" => {
             println!("{}", compiled.ty);
-            ExitCode::SUCCESS
+            Ok(())
         }
         "elaborate" => {
             println!("{}", compiled.elaborated);
-            ExitCode::SUCCESS
+            Ok(())
         }
-        "direct" => match fg::interp::run_direct(&compiled.elaborated) {
-            Ok(v) => {
-                println!("{v}");
-                ExitCode::SUCCESS
-            }
-            Err(e) => {
-                eprintln!("fg: runtime error: {e}");
-                ExitCode::FAILURE
-            }
-        },
-        "translate" => {
-            println!("{}", compiled.term);
-            ExitCode::SUCCESS
-        }
-        "bytecode" => match system_f::vm::compile(&compiled.term) {
-            Ok(p) => {
-                print!("{p}");
-                ExitCode::SUCCESS
-            }
-            Err(e) => {
-                eprintln!("fg: compile error: {e}");
-                ExitCode::FAILURE
-            }
-        },
-        "vm" => match system_f::vm::compile_and_run(&compiled.term) {
-            Ok(v) => {
-                println!("{v}");
-                ExitCode::SUCCESS
-            }
-            Err(e) => {
-                eprintln!("fg: vm error: {e}");
-                ExitCode::FAILURE
-            }
-        },
-        "run" => {
-            if let Err(e) = system_f::typecheck(&compiled.term) {
-                eprintln!("fg: internal error: translation is ill-typed: {e}");
-                return ExitCode::FAILURE;
-            }
-            match system_f::eval(&compiled.term) {
-                Ok(v) => {
+        "direct" => {
+            let out = metrics.phase("direct_eval", || {
+                fg::interp::run_direct_profiled(&compiled.elaborated)
+            });
+            match out {
+                Ok((v, stats)) => {
+                    record_eval_stats(&mut metrics, &stats);
                     println!("{v}");
-                    ExitCode::SUCCESS
+                    Ok(())
                 }
                 Err(e) => {
                     eprintln!("fg: runtime error: {e}");
-                    ExitCode::FAILURE
+                    Err(ExitCode::FAILURE)
                 }
             }
         }
-        _ => usage(),
+        "translate" => {
+            println!("{}", compiled.term);
+            Ok(())
+        }
+        "bytecode" => {
+            let out = metrics.phase("vm_compile", || system_f::vm::compile(&compiled.term));
+            match out {
+                Ok(p) => {
+                    print!("{p}");
+                    Ok(())
+                }
+                Err(e) => {
+                    eprintln!("fg: compile error: {e}");
+                    Err(ExitCode::FAILURE)
+                }
+            }
+        }
+        "vm" => {
+            let program = metrics.phase("vm_compile", || system_f::vm::compile(&compiled.term));
+            match program {
+                Ok(p) => {
+                    let out = metrics.phase("vm_run", || system_f::vm::run_profiled(&p));
+                    match out {
+                        Ok((v, stats)) => {
+                            record_vm_stats(&mut metrics, &stats);
+                            println!("{v}");
+                            Ok(())
+                        }
+                        Err(e) => {
+                            eprintln!("fg: vm error: {e}");
+                            Err(ExitCode::FAILURE)
+                        }
+                    }
+                }
+                Err(e) => {
+                    eprintln!("fg: compile error: {e}");
+                    Err(ExitCode::FAILURE)
+                }
+            }
+        }
+        "run" => {
+            let well_typed =
+                metrics.phase("sf_typecheck", || system_f::typecheck(&compiled.term));
+            if let Err(e) = well_typed {
+                eprintln!("fg: internal error: translation is ill-typed: {e}");
+                return ExitCode::FAILURE;
+            }
+            let out = metrics.phase("sf_eval", || system_f::eval(&compiled.term));
+            match out {
+                Ok(v) => {
+                    println!("{v}");
+                    Ok(())
+                }
+                Err(e) => {
+                    eprintln!("fg: runtime error: {e}");
+                    Err(ExitCode::FAILURE)
+                }
+            }
+        }
+        _ => return usage(),
+    };
+    match status {
+        Ok(()) => finish(flags, metrics),
+        Err(code) => code,
     }
+}
+
+/// The checker's counters: scoped model lookup plus dictionary
+/// construction (the `check` group) and congruence-closure work (the
+/// `congruence` group).
+fn record_check_stats(metrics: &mut Metrics, compiled: &fg::Compiled) {
+    let cs = compiled.check_stats;
+    for (key, value) in [
+        ("model_lookups", cs.model_lookups),
+        ("model_hits", cs.model_hits),
+        ("model_misses", cs.model_misses),
+        ("candidates_scanned", cs.candidates_scanned),
+        ("max_scope_depth", cs.max_scope_depth),
+        ("dicts_built", cs.dicts_built),
+        ("dict_instantiations", cs.dict_instantiations),
+    ] {
+        metrics.set_counter("check", key, value);
+    }
+    let ts = compiled.type_eq_stats;
+    for (key, value) in [
+        ("eq_queries", ts.eq_queries),
+        ("assertions", ts.assertions),
+        ("resolves", ts.resolves),
+        ("merges", ts.merges),
+        ("unions", ts.unions),
+        ("finds", ts.finds),
+        ("terms", ts.terms),
+        ("term_bank_peak", ts.term_bank_peak),
+    ] {
+        metrics.set_counter("congruence", key, value);
+    }
+}
+
+/// The direct interpreter's runtime counters (the `direct_eval` group).
+fn record_eval_stats(metrics: &mut Metrics, stats: &fg::interp::EvalStats) {
+    for (key, value) in [
+        ("eval_steps", stats.eval_steps),
+        ("model_lookups", stats.model_lookups),
+        ("model_hits", stats.model_hits),
+        ("model_misses", stats.model_misses),
+        ("candidates_scanned", stats.candidates_scanned),
+        ("max_scope_depth", stats.max_scope_depth),
+        ("dicts_built", stats.dicts_built),
+        ("dict_instantiations", stats.dict_instantiations),
+    ] {
+        metrics.set_counter("direct_eval", key, value);
+    }
+}
+
+/// The VM's per-opcode dispatch counts and stack gauges (the
+/// `vm_dispatch` group).
+fn record_vm_stats(metrics: &mut Metrics, stats: &system_f::vm::VmStats) {
+    metrics.set_counter("vm_dispatch", "instructions", stats.instructions());
+    for &(name, count) in &stats.by_opcode {
+        metrics.set_counter("vm_dispatch", name, count);
+    }
+    metrics.set_counter("vm_dispatch", "max_frame_depth", stats.max_frame_depth);
+    metrics.set_counter("vm_dispatch", "max_stack_depth", stats.max_stack_depth);
+}
+
+/// Emits the collected telemetry as requested by the flags.
+fn finish(flags: Flags, metrics: Metrics) -> ExitCode {
+    if flags.profile {
+        eprint!("{}", metrics.render_table());
+    }
+    if let Some(path) = &flags.metrics_json {
+        let json = metrics.to_json();
+        if path == "-" {
+            print!("{json}");
+        } else if let Err(e) = std::fs::write(path, json) {
+            eprintln!("fg: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
 }
 
 fn read_source(path: &str) -> std::io::Result<String> {

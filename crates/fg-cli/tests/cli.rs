@@ -157,3 +157,77 @@ fn usage_on_bad_invocation() {
     assert!(!ok);
     assert!(stderr.contains("usage:"), "{stderr}");
 }
+
+/// Every key the `fg-metrics/1` schema promises for a `vm` invocation.
+/// Downstream tooling (benches, EXPERIMENTS.md scripts) parses these
+/// names, so renaming or dropping one is a breaking change — update the
+/// schema version in the `telemetry` crate if this test has to change.
+#[test]
+fn metrics_json_schema_is_stable() {
+    let (stdout, stderr, ok) = run_fg(&["vm", "--metrics-json", "-", "-"], FIG5);
+    assert!(ok, "stderr: {stderr}");
+    // The value line comes first, then the JSON document.
+    let (value, json) = stdout.split_once('\n').expect("value line + json");
+    assert_eq!(value.trim(), "3");
+    assert!(json.trim_start().starts_with('{'), "not a json object: {json}");
+    assert!(json.trim_end().ends_with('}'), "unterminated json: {json}");
+    for key in [
+        "\"schema\": \"fg-metrics/1\"",
+        "\"command\": \"vm\"",
+        "\"source\": \"-\"",
+        "\"phases_ns\"",
+        "\"counters\"",
+    ] {
+        assert!(json.contains(key), "missing {key} in: {json}");
+    }
+    for phase in ["parse", "check_translate", "vm_compile", "vm_run"] {
+        assert!(json.contains(&format!("\"{phase}\": ")), "missing phase {phase}: {json}");
+    }
+    for group in ["\"check\": {", "\"congruence\": {", "\"vm_dispatch\": {"] {
+        assert!(json.contains(group), "missing group {group}: {json}");
+    }
+    for counter in [
+        // check group
+        "model_lookups", "model_hits", "model_misses", "candidates_scanned",
+        "max_scope_depth", "dicts_built", "dict_instantiations",
+        // congruence group
+        "eq_queries", "assertions", "resolves", "merges", "unions", "finds",
+        "terms", "term_bank_peak",
+        // vm_dispatch group: the instruction total, every opcode, gauges
+        "instructions", "max_frame_depth", "max_stack_depth",
+    ] {
+        assert!(json.contains(&format!("\"{counter}\": ")), "missing counter {counter}");
+    }
+    for opcode in system_f::vm::OPCODE_NAMES {
+        assert!(json.contains(&format!("\"{opcode}\": ")), "missing opcode {opcode}");
+    }
+}
+
+#[test]
+fn metrics_json_writes_to_a_file() {
+    let path = format!(
+        "{}/metrics-{}.json",
+        env!("CARGO_TARGET_TMPDIR"),
+        std::process::id()
+    );
+    let (stdout, stderr, ok) = run_fg(&["direct", "--metrics-json", &path, "-"], FIG5);
+    assert!(ok, "stderr: {stderr}");
+    assert_eq!(stdout.trim(), "3");
+    let json = std::fs::read_to_string(&path).expect("metrics file written");
+    std::fs::remove_file(&path).ok();
+    assert!(json.contains("\"schema\": \"fg-metrics/1\""), "{json}");
+    assert!(json.contains("\"command\": \"direct\""), "{json}");
+    // The direct lane reports its runtime counters.
+    assert!(json.contains("\"direct_eval\": {"), "{json}");
+    assert!(json.contains("\"eval_steps\": "), "{json}");
+}
+
+#[test]
+fn profile_flag_prints_a_table_to_stderr() {
+    let (stdout, stderr, ok) = run_fg(&["check", "--profile", "-"], FIG5);
+    assert!(ok, "stderr: {stderr}");
+    assert_eq!(stdout.trim(), "int", "profiling must not pollute stdout");
+    for needle in ["parse", "check_translate", "model_lookups", "dicts_built", "finds"] {
+        assert!(stderr.contains(needle), "missing {needle} in table:\n{stderr}");
+    }
+}

@@ -32,7 +32,7 @@ use crate::ast::{ConceptDecl, ConceptItem, Constraint, Expr, ExprKind, FgTy, Mod
 use crate::concepts::{ConceptInfo, ConceptTable, MemberSig};
 use crate::error::{CheckError, ErrorKind};
 use crate::rty::{subst, ConceptId, RConstraint, RTy};
-use crate::typeeq::TypeEq;
+use crate::typeeq::{TypeEq, TypeEqStats};
 use system_f::lexer::Span;
 
 /// The result of checking a program: its F_G type and its System F
@@ -47,6 +47,37 @@ pub struct Compiled {
     /// instantiation made explicit. Running this on the direct
     /// interpreter is equivalent to evaluating `term` on System F.
     pub elaborated: Expr,
+    /// Model-lookup and dictionary-construction counters accumulated
+    /// while checking.
+    pub check_stats: CheckStats,
+    /// Congruence-closure counters (queries, unions, finds, term-bank
+    /// peak) accumulated while checking.
+    pub type_eq_stats: TypeEqStats,
+}
+
+/// Counters describing the work a [`Checker`] performed. Monotonic over
+/// the checker's lifetime: unlike the lexical environment, these survive
+/// scope save/restore.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CheckStats {
+    /// Model-requirement resolutions attempted ([`Checker::resolve_model`]
+    /// calls, including recursive ones for parameterized-model
+    /// constraints).
+    pub model_lookups: u64,
+    /// Lookups that found a model.
+    pub model_hits: u64,
+    /// Lookups that found none (also counts lookups abandoned at the
+    /// recursion depth limit).
+    pub model_misses: u64,
+    /// Scope entries examined across all lookups (the inner scan is
+    /// newest-first over every model in scope).
+    pub candidates_scanned: u64,
+    /// Deepest model scope observed at any lookup (gauge, in entries).
+    pub max_scope_depth: u64,
+    /// Dictionaries assembled for `model` declarations.
+    pub dicts_built: u64,
+    /// Parameterized dictionary constructors instantiated at use sites.
+    pub dict_instantiations: u64,
 }
 
 /// Typechecks a closed F_G program and translates it to System F.
@@ -75,29 +106,49 @@ pub fn check_program(e: &Expr) -> Result<Compiled, CheckError> {
     if !depth_exceeds(e, 40) {
         let mut checker = Checker::new();
         let (ty, term, elaborated) = checker.check_elab(e)?;
-        return Ok(Compiled {
-            ty,
-            term,
-            elaborated,
-        });
+        return Ok(compiled(checker, ty, term, elaborated));
     }
     std::thread::scope(|scope| {
-        std::thread::Builder::new()
+        let handle = std::thread::Builder::new()
             .name("fg-checker".to_owned())
             .stack_size(64 * 1024 * 1024)
             .spawn_scoped(scope, || {
                 let mut checker = Checker::new();
                 let (ty, term, elaborated) = checker.check_elab(e)?;
-                Ok(Compiled {
-                    ty,
-                    term,
-                    elaborated,
-                })
+                Ok(compiled(checker, ty, term, elaborated))
             })
-            .expect("failed to spawn checker thread")
-            .join()
-            .expect("checker thread panicked")
+            .map_err(|e| {
+                CheckError::new(
+                    ErrorKind::Internal(format!("failed to spawn checker thread: {e}")),
+                    Span::default(),
+                )
+            })?;
+        handle.join().unwrap_or_else(|payload| Err(panic_to_error(&payload)))
     })
+}
+
+fn compiled(checker: Checker, ty: RTy, term: Term, elaborated: Expr) -> Compiled {
+    Compiled {
+        ty,
+        term,
+        elaborated,
+        check_stats: checker.stats(),
+        type_eq_stats: checker.type_eq_stats(),
+    }
+}
+
+/// Converts a checker-thread panic payload into a structured
+/// [`CheckError`] instead of re-panicking in the caller.
+pub(crate) fn panic_to_error(payload: &(dyn std::any::Any + Send)) -> CheckError {
+    let msg = payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_owned())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "checker thread panicked".to_owned());
+    CheckError::new(
+        ErrorKind::Internal(format!("checker thread panicked: {msg}")),
+        Span::default(),
+    )
 }
 
 /// Returns `true` if the expression tree is deeper than `limit`
@@ -276,6 +327,9 @@ pub struct Checker {
     current_concept: Option<(Symbol, Vec<Symbol>, Vec<Symbol>)>,
     /// Re-entrancy counter shared by model resolution and normalization.
     busy: usize,
+    /// Lifetime-monotonic work counters (never rolled back by
+    /// [`Checker::restore`]).
+    stats: CheckStats,
 }
 
 impl Checker {
@@ -288,6 +342,19 @@ impl Checker {
     /// tooling.
     pub fn models(&self) -> &[ModelEntry] {
         &self.models
+    }
+
+    /// Model-lookup and dictionary-construction counters accumulated so
+    /// far (monotonic over the checker's lifetime).
+    pub fn stats(&self) -> CheckStats {
+        self.stats
+    }
+
+    /// Congruence-closure counters accumulated so far, including work
+    /// done in scopes that have since been discarded by
+    /// [`Checker::restore`].
+    pub fn type_eq_stats(&self) -> TypeEqStats {
+        self.teq.stats()
     }
 
     fn save(&mut self) -> Saved {
@@ -305,7 +372,13 @@ impl Checker {
         self.ty_vars.truncate(saved.ty_vars);
         self.concept_names.truncate(saved.concept_names);
         self.models.truncate(saved.models);
+        // Replacing `teq` with the saved clone discards the scope's
+        // equalities — but not the record of the work done in it: fold
+        // the discarded scope's counters back in so stats stay
+        // monotonic.
+        let scope = self.teq.stats().delta_since(&saved.teq.stats());
         self.teq = saved.teq;
+        self.teq.absorb_scope(scope);
     }
 
     fn lookup_concept(&self, name: Symbol) -> Option<ConceptId> {
@@ -652,11 +725,24 @@ impl Checker {
     /// refinement/requirement sub-dictionaries, mirroring the paper's `bm`.
     fn register_proxy(&mut self, plan: &DictPlan, dict: Symbol, path: Vec<usize>) {
         let info = self.concepts.get(plan.concept).clone();
-        let s = self.instantiation_subst(&info, &plan.args);
+        // A proxy's associated types stand for themselves: each maps to
+        // its own projection `C<args>.a` (exactly what
+        // `instantiation_subst` would produce, built directly so there is
+        // no map lookup to go wrong).
         let assoc = info
             .assoc_types
             .iter()
-            .map(|&a| (a, s[&a].clone()))
+            .map(|&a| {
+                (
+                    a,
+                    RTy::Assoc {
+                        concept: plan.concept,
+                        concept_name: info.name,
+                        args: plan.args.clone(),
+                        name: a,
+                    },
+                )
+            })
             .collect();
         self.models.push(ModelEntry {
             concept: plan.concept,
@@ -920,12 +1006,19 @@ impl Checker {
         args: &[RTy],
         allow_uc: bool,
     ) -> Option<ResolvedModel> {
+        self.stats.model_lookups += 1;
+        self.stats.max_scope_depth = self.stats.max_scope_depth.max(self.models.len() as u64);
         if self.busy > LOOKUP_DEPTH_LIMIT {
+            self.stats.model_misses += 1;
             return None;
         }
         self.busy += 1;
         let out = self.resolve_model_inner(cid, args, allow_uc);
         self.busy -= 1;
+        match &out {
+            Some(_) => self.stats.model_hits += 1,
+            None => self.stats.model_misses += 1,
+        }
         out
     }
 
@@ -937,6 +1030,7 @@ impl Checker {
     ) -> Option<ResolvedModel> {
         let nargs: Vec<RTy> = args.iter().map(|a| self.norm(a)).collect();
         for i in (0..self.models.len()).rev() {
+            self.stats.candidates_scanned += 1;
             let entry = self.models[i].clone();
             if entry.concept != cid || entry.args.len() != nargs.len() {
                 continue;
@@ -1013,7 +1107,17 @@ impl Checker {
             let mut ty_args = Vec::with_capacity(entry.params.len() + plan.assoc_slots.len());
             let mut translatable = true;
             for p in &entry.params {
-                match self.tr_ty(&sigma[p], span) {
+                // `match_entry` only succeeds when every parameter is
+                // bound, and declarations reject parameters absent from
+                // the head (`UnusedModelParam`), so `sigma` has `p`; an
+                // unbound parameter is treated as a non-match, not a
+                // panic.
+                let Some(arg) = sigma.get(p) else {
+                    translatable = false;
+                    break;
+                };
+                let arg = arg.clone();
+                match self.tr_ty(&arg, span) {
                     Ok(t) => ty_args.push(t),
                     Err(_) => {
                         translatable = false;
@@ -1041,6 +1145,7 @@ impl Checker {
             if !translatable {
                 continue;
             }
+            self.stats.dict_instantiations += 1;
             let mut term = Term::TyApp(Box::new(Term::Var(entry.dict)), ty_args);
             if !dict_terms.is_empty() {
                 term = Term::App(Box::new(term), dict_terms);
@@ -1876,6 +1981,22 @@ impl Checker {
                 .map(|a| self.resolve_ty(a, span))
                 .collect::<Result<Vec<_>, _>>()?;
 
+            // Every quantified parameter must occur in the head
+            // arguments: resolution binds parameters by first-order
+            // matching against the head (§6), so an absent parameter can
+            // never be determined and the model could never be used.
+            for p in &decl.params {
+                if !args.iter().any(|a| a.free_vars().contains(p)) {
+                    return self.err(
+                        ErrorKind::UnusedModelParam {
+                            concept: decl.concept,
+                            param: *p,
+                        },
+                        span,
+                    );
+                }
+            }
+
             // Associated-type assignments and member bodies.
             let mut assoc: Vec<(Symbol, RTy)> = Vec::new();
             let mut member_bodies: Vec<(Symbol, &Expr)> = Vec::new();
@@ -2067,6 +2188,7 @@ impl Checker {
 
         // Assemble the dictionary: let m_i = e_i in tuple(children…, m̄),
         // wrapped in a type/dictionary abstraction when parameterized.
+        self.stats.dicts_built += 1;
         let mut dict_items: Vec<Term> =
             Vec::with_capacity(child_terms.len() + bindings.len());
         dict_items.extend(child_terms);
@@ -2194,4 +2316,55 @@ fn distinct(names: &[Symbol], span: Span) -> Result<(), CheckError> {
         }
     }
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn panic_payloads_become_internal_errors() {
+        // `check_program` converts a checker-thread panic into a
+        // structured `Internal` error instead of re-panicking the
+        // caller; both payload shapes `panic!` produces are handled.
+        let from_str: Box<dyn std::any::Any + Send> = Box::new("str payload");
+        let from_string: Box<dyn std::any::Any + Send> = Box::new("string payload".to_owned());
+        let from_other: Box<dyn std::any::Any + Send> = Box::new(17u32);
+        for (payload, needle) in [
+            (from_str, "str payload"),
+            (from_string, "string payload"),
+            (from_other, "checker thread panicked"),
+        ] {
+            let err = panic_to_error(&*payload);
+            assert!(
+                matches!(&err.kind, ErrorKind::Internal(msg) if msg.contains(needle)),
+                "{err}"
+            );
+        }
+    }
+
+    #[test]
+    fn stats_survive_scope_restore() {
+        // Checking a `biglam` body happens in a saved/restored scope;
+        // the congruence work done inside must still be visible in the
+        // final counters.
+        let src = "
+            concept S<t> { op : fn(t, t) -> t; } in
+            model S<int> { op = iadd; } in
+            (biglam t where S<t>. lam x: t. S<t>.op(x, x))[int](21)";
+        let expr = crate::parser::parse_expr(src).unwrap();
+        let compiled = check_program(&expr).unwrap();
+        let cs = compiled.check_stats;
+        assert!(cs.model_lookups > 0, "{cs:?}");
+        assert_eq!(cs.model_lookups, cs.model_hits + cs.model_misses, "{cs:?}");
+        assert!(cs.candidates_scanned >= cs.model_lookups, "{cs:?}");
+        assert_eq!(cs.dicts_built, 1, "{cs:?}");
+        assert!(cs.max_scope_depth >= 1, "{cs:?}");
+        // The congruence work happens inside the biglam's saved/restored
+        // scope; `restore` must fold it back in rather than dropping it.
+        let ts = compiled.type_eq_stats;
+        assert!(ts.finds > 0, "{ts:?}");
+        assert!(ts.resolves > 0, "{ts:?}");
+        assert!(ts.term_bank_peak > 0, "{ts:?}");
+    }
 }

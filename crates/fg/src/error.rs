@@ -169,6 +169,20 @@ pub enum ErrorKind {
         /// The type variables left undetermined.
         vars: Vec<Symbol>,
     },
+    /// A parameterized model quantifies a parameter that never occurs in
+    /// its head arguments. Model resolution is first-order matching
+    /// against the head (§6), so such a parameter can never be
+    /// determined at a use site and the model would be unusable.
+    UnusedModelParam {
+        /// The concept being modeled.
+        concept: Symbol,
+        /// The undeterminable parameter.
+        param: Symbol,
+    },
+    /// The checker itself failed (a thread could not be spawned, or a
+    /// checker thread panicked). Always a bug or a resource-exhaustion
+    /// condition, never a property of the input program.
+    Internal(String),
 }
 
 fn fmt_args(args: &[RTy], f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -271,6 +285,14 @@ impl fmt::Display for ErrorKind {
                     write!(f, "{} `{v}`", if i == 0 { "" } else { "," })?;
                 }
                 write!(f, "; supply them explicitly with `[…]`")
+            }
+            ErrorKind::UnusedModelParam { concept, param } => write!(
+                f,
+                "model parameter `{param}` does not occur in the arguments of `{concept}`, \
+                 so it can never be determined at a use site"
+            ),
+            ErrorKind::Internal(msg) => {
+                write!(f, "internal checker error: {msg}")
             }
         }
     }

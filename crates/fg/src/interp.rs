@@ -12,7 +12,7 @@
 //! ill-typed input it fails with a [`RuntimeError`] rather than undefined
 //! behaviour.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::fmt;
 use std::rc::Rc;
@@ -217,6 +217,69 @@ pub struct DEnv {
     concepts: Rc<Vec<(Symbol, ConceptId)>>,
     models: Rc<Vec<RtEntry>>,
     table: Rc<RefCell<ConceptTable>>,
+    /// Work counters shared by every environment derived from one root
+    /// (closures capture the environment, so the whole run reports into
+    /// the same cells).
+    stats: Rc<StatsCell>,
+}
+
+/// Shared mutable counters behind [`EvalStats`]; `Cell` keeps the hot
+/// interpreter loop free of borrow-flag bookkeeping.
+#[derive(Debug, Default)]
+struct StatsCell {
+    eval_steps: Cell<u64>,
+    model_lookups: Cell<u64>,
+    model_hits: Cell<u64>,
+    model_misses: Cell<u64>,
+    candidates_scanned: Cell<u64>,
+    max_scope_depth: Cell<u64>,
+    dicts_built: Cell<u64>,
+    dict_instantiations: Cell<u64>,
+}
+
+fn inc(c: &Cell<u64>) {
+    c.set(c.get() + 1);
+}
+
+impl StatsCell {
+    fn snapshot(&self) -> EvalStats {
+        EvalStats {
+            eval_steps: self.eval_steps.get(),
+            model_lookups: self.model_lookups.get(),
+            model_hits: self.model_hits.get(),
+            model_misses: self.model_misses.get(),
+            candidates_scanned: self.candidates_scanned.get(),
+            max_scope_depth: self.max_scope_depth.get(),
+            dicts_built: self.dicts_built.get(),
+            dict_instantiations: self.dict_instantiations.get(),
+        }
+    }
+}
+
+/// Work counters for one direct-interpreter run; the runtime analogue of
+/// [`crate::check::CheckStats`] (the translated lane resolves models at
+/// compile time, this lane at run time).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvalStats {
+    /// Expressions evaluated.
+    pub eval_steps: u64,
+    /// Model lookups performed (member accesses, constraint satisfaction
+    /// at instantiation, associated-type normalization, and recursive
+    /// lookups for parameterized-model constraints).
+    pub model_lookups: u64,
+    /// Lookups that found a model.
+    pub model_hits: u64,
+    /// Lookups that found none (includes normalization probes for
+    /// projections with no matching model in scope).
+    pub model_misses: u64,
+    /// Scope entries examined across all lookups.
+    pub candidates_scanned: u64,
+    /// Deepest model scope observed at any lookup (gauge, in entries).
+    pub max_scope_depth: u64,
+    /// Model dictionaries (runtime model records) built.
+    pub dicts_built: u64,
+    /// Parameterized-model templates instantiated at lookup sites.
+    pub dict_instantiations: u64,
 }
 
 /// Persistent association list for values (the hot path).
@@ -390,6 +453,18 @@ pub fn run_direct(e: &Expr) -> Result<DValue, RuntimeError> {
     eval(e, &DEnv::default())
 }
 
+/// Runs a (well-typed) F_G program directly and reports the work done:
+/// like [`run_direct`], but also returns the run's [`EvalStats`].
+///
+/// # Errors
+///
+/// Same as [`run_direct`].
+pub fn run_direct_profiled(e: &Expr) -> Result<(DValue, EvalStats), RuntimeError> {
+    let env = DEnv::default();
+    let v = eval(e, &env)?;
+    Ok((v, env.stats.snapshot()))
+}
+
 /// Resolves a surface type to a *closed* normalized type under the runtime
 /// environment: type variables are substituted from the instantiation
 /// environment and associated-type projections are resolved through the
@@ -503,10 +578,32 @@ fn find_model_at(
     args: &[RTy],
     depth: usize,
 ) -> Option<Rc<RtModel>> {
+    inc(&env.stats.model_lookups);
+    let scope_depth = env.models.len() as u64;
+    if scope_depth > env.stats.max_scope_depth.get() {
+        env.stats.max_scope_depth.set(scope_depth);
+    }
     if depth > 32 {
+        inc(&env.stats.model_misses);
         return None;
     }
+    let out = find_model_scan(env, cid, args, depth);
+    inc(if out.is_some() {
+        &env.stats.model_hits
+    } else {
+        &env.stats.model_misses
+    });
+    out
+}
+
+fn find_model_scan(
+    env: &DEnv,
+    cid: ConceptId,
+    args: &[RTy],
+    depth: usize,
+) -> Option<Rc<RtModel>> {
     for entry in env.models.iter().rev() {
+        inc(&env.stats.candidates_scanned);
         match entry {
             RtEntry::Concrete(m) => {
                 if m.concept == cid && m.args == args {
@@ -621,7 +718,9 @@ fn instantiate_param_model(
     let cid = pm.concept;
     let info = env2.table.borrow().get(cid).clone();
     let args: Vec<RTy> = pm.pattern.iter().map(|p| crate::rty::subst(p, sigma)).collect();
-    elaborate_model(&env2, cid, &info, &args, &pm.decl).ok()
+    let model = elaborate_model(&env2, cid, &info, &args, &pm.decl).ok()?;
+    inc(&use_env.stats.dict_instantiations);
+    Some(model)
 }
 
 /// Resolves a model declaration's items into a ready [`RtModel`]: assigns
@@ -666,6 +765,7 @@ fn elaborate_model(
         let child = find_model(env, *rc, &inst).ok_or(RuntimeError::NoModel(name))?;
         children.push(child);
     }
+    inc(&env.stats.dicts_built);
     let model = Rc::new(RtModel {
         concept: cid,
         args,
@@ -712,6 +812,7 @@ fn find_member_value(table: &ConceptTable, model: &RtModel, member: Symbol) -> O
 }
 
 fn eval(e: &Expr, env: &DEnv) -> Result<DValue, RuntimeError> {
+    inc(&env.stats.eval_steps);
     match &e.kind {
         ExprKind::Var(x) => env.lookup(*x),
         ExprKind::IntLit(n) => Ok(DValue::Int(*n)),

@@ -83,8 +83,9 @@ pub mod rty;
 pub mod stdlib;
 pub mod typeeq;
 
-pub use check::{check_program, Checker, Compiled};
+pub use check::{check_program, CheckStats, Checker, Compiled};
 pub use error::{CheckError, ErrorKind};
+pub use typeeq::TypeEqStats;
 
 /// Parses, typechecks, and translates an F_G program to System F.
 ///

@@ -58,6 +58,52 @@ pub struct TypeEq {
     /// Type-alias names: never eligible as class representatives (they are
     /// not System F binders, so the translation must never emit them).
     banned: Vec<Symbol>,
+    /// Query counters, plus counts absorbed from discarded scope clones
+    /// (see [`TypeEq::absorb_scope`]).
+    carried: TypeEqStats,
+}
+
+/// Aggregated equality-engine statistics: query counters of this instance
+/// plus the underlying congruence-closure operation counts.
+///
+/// `terms` is a gauge (current term-bank size); `term_bank_peak` also
+/// covers scope clones that were discarded on scope exit. Everything else
+/// is monotonic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TypeEqStats {
+    /// `eq` queries answered.
+    pub eq_queries: u64,
+    /// `assert_eq` constraint assertions.
+    pub assertions: u64,
+    /// `resolve` canonicalization requests.
+    pub resolves: u64,
+    /// Congruence `merge` invocations.
+    pub merges: u64,
+    /// Congruence class unions performed.
+    pub unions: u64,
+    /// Union-find `find` operations.
+    pub finds: u64,
+    /// Current congruence term-bank size (gauge).
+    pub terms: u64,
+    /// Peak term-bank size observed, including discarded scopes (gauge).
+    pub term_bank_peak: u64,
+}
+
+impl TypeEqStats {
+    /// The counters accumulated since `base` was captured from the same
+    /// (or an ancestor) instance; gauges carry the peak instead.
+    pub fn delta_since(&self, base: &TypeEqStats) -> TypeEqStats {
+        TypeEqStats {
+            eq_queries: self.eq_queries.saturating_sub(base.eq_queries),
+            assertions: self.assertions.saturating_sub(base.assertions),
+            resolves: self.resolves.saturating_sub(base.resolves),
+            merges: self.merges.saturating_sub(base.merges),
+            unions: self.unions.saturating_sub(base.unions),
+            finds: self.finds.saturating_sub(base.finds),
+            terms: self.terms.max(base.terms),
+            term_bank_peak: self.term_bank_peak.max(base.term_bank_peak),
+        }
+    }
 }
 
 /// Bound on `resolve` recursion, guarding against cyclic same-type
@@ -79,8 +125,35 @@ impl TypeEq {
         }
     }
 
+    /// Snapshot of the equality-engine statistics.
+    pub fn stats(&self) -> TypeEqStats {
+        let cc = self.cc.stats();
+        let mut s = self.carried;
+        s.merges += cc.merges;
+        s.unions += cc.unions;
+        s.finds += cc.finds;
+        s.terms = cc.terms;
+        s.term_bank_peak = s.term_bank_peak.max(cc.terms);
+        s
+    }
+
+    /// Folds the statistics `delta` of a discarded scope clone into this
+    /// instance, so counts stay monotonic across scoped save/restore:
+    /// capture `child.stats().delta_since(&saved.stats())` before the
+    /// restore and absorb it afterwards.
+    pub fn absorb_scope(&mut self, delta: TypeEqStats) {
+        self.carried.eq_queries += delta.eq_queries;
+        self.carried.assertions += delta.assertions;
+        self.carried.resolves += delta.resolves;
+        self.carried.merges += delta.merges;
+        self.carried.unions += delta.unions;
+        self.carried.finds += delta.finds;
+        self.carried.term_bank_peak = self.carried.term_bank_peak.max(delta.term_bank_peak);
+    }
+
     /// Asserts `a == b`, closing under congruence.
     pub fn assert_eq(&mut self, a: &RTy, b: &RTy) {
+        self.carried.assertions += 1;
         let ta = self.encode(a);
         let tb = self.encode(b);
         self.cc.merge(ta, tb);
@@ -88,6 +161,7 @@ impl TypeEq {
 
     /// Decides `a == b` under the asserted constraints.
     pub fn eq(&mut self, a: &RTy, b: &RTy) -> bool {
+        self.carried.eq_queries += 1;
         if a == b {
             return true;
         }
@@ -210,6 +284,7 @@ impl TypeEq {
     /// smaller types, earlier-created terms. The result is deterministic
     /// for a given sequence of assertions.
     pub fn resolve(&mut self, ty: &RTy) -> RTy {
+        self.carried.resolves += 1;
         self.resolve_at(ty, 0)
     }
 

@@ -325,3 +325,71 @@ fn vm_runs_the_stress_programs() {
     let v = system_f::vm::compile_and_run(&compiled.term).unwrap();
     assert!(v.agrees_with(&system_f::Value::Int(65536)));
 }
+
+// ------------------------------------------------- structured error paths
+//
+// The checker has no panicking paths left: deep programs (checked on a
+// dedicated thread), parameterized-model matching, and where-clause
+// proxies all report structured `CheckError`s.
+
+/// A program nested deeper than the inline-checking threshold (40), so
+/// `check_program` routes it through the big-stack checker thread.
+fn deep_program(leaf: &str) -> String {
+    let mut src = String::new();
+    for i in 0..60 {
+        src.push_str(&format!("let x{i} = {i} in "));
+    }
+    src.push_str(leaf);
+    src
+}
+
+#[test]
+fn deep_ill_typed_program_reports_structured_error_across_thread() {
+    // The type error must cross the checker-thread boundary as a value,
+    // not as a panic (`check_program` used to `.expect()` the join).
+    let expr = parse_expr(&deep_program("missing_var")).expect("parse failed");
+    #[allow(clippy::result_large_err)]
+    let result = std::panic::catch_unwind(|| check_program(&expr))
+        .expect("check_program panicked instead of returning an error");
+    let err = result.expect_err("expected a type error");
+    assert!(matches!(err.kind, ErrorKind::UnboundVar(_)), "{err}");
+}
+
+#[test]
+fn deep_well_typed_program_checks_on_the_big_stack_thread() {
+    let v = run_ok(&deep_program("iadd(x0, x59)"));
+    assert_eq!(v, Value::Int(59));
+}
+
+#[test]
+fn model_param_absent_from_head_is_rejected_at_declaration() {
+    // `w` cannot be determined by matching the head `C<int>` at any use
+    // site; resolution used to skip the entry silently (and an unbound
+    // parameter would have been an index panic in the dictionary
+    // instantiation). Now the declaration itself is rejected.
+    let err = check_err(
+        "concept C<t> { op : fn(t) -> t; } in
+         model forall w. C<int> { op = lam x: int. x; } in
+         C<int>.op(1)",
+    );
+    assert!(
+        matches!(err.kind, ErrorKind::UnusedModelParam { .. }),
+        "{err}"
+    );
+    assert!(err.to_string().contains('w'), "{err}");
+}
+
+#[test]
+fn proxy_with_unknown_assoc_projection_is_structured() {
+    // Where-clause proxies register one projection per *declared*
+    // associated type (the site formerly indexed a substitution map);
+    // projecting an undeclared one is an ordinary type error.
+    let err = check_err(
+        "concept Container<c> { types elt; first : fn(c) -> Container<c>.elt; } in
+         biglam c where Container<c>. lam xs: Container<c>.nope. xs",
+    );
+    assert!(
+        matches!(err.kind, ErrorKind::UnknownAssocType { .. }),
+        "{err}"
+    );
+}

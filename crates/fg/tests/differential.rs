@@ -204,3 +204,56 @@ fn type_alias_agrees() {
         f(iadd)";
     assert_agree(src, "type alias");
 }
+
+/// Telemetry differential: the direct interpreter and the
+/// translate-then-check lane must agree on how many dictionaries a
+/// program constructs. Both lanes build exactly one dictionary per
+/// `model` declaration they process (and one per parameterized-model
+/// instantiation), so `dicts_built`/`dict_instantiations` are a
+/// lane-independent property of the program. Model *lookup* counts are
+/// intentionally NOT compared for equality: the checker resolves each
+/// `Concept<ty>.member` use site once at compile time, while the direct
+/// interpreter re-resolves on every dynamic member access, so the direct
+/// lane legitimately performs at least as many lookups (e.g. Fig. 5:
+/// 8 runtime vs 4 compile-time lookups).
+#[test]
+fn dictionary_counts_agree_across_lanes() {
+    for p in [&corpus::FIG5_ACCUMULATE, &corpus::FIG6_OVERLAPPING] {
+        let expr = parse_expr(p.source).unwrap();
+        let compiled = fg::check_program(&expr).unwrap();
+        let (_, direct) = fg::interp::run_direct_profiled(&compiled.elaborated)
+            .unwrap_or_else(|e| panic!("{}: direct eval failed: {e}", p.id));
+        let check = compiled.check_stats;
+        assert_eq!(
+            direct.dicts_built, check.dicts_built,
+            "{}: dictionary construction counts diverge across lanes",
+            p.id
+        );
+        assert_eq!(
+            direct.dict_instantiations, check.dict_instantiations,
+            "{}: dictionary instantiation counts diverge across lanes",
+            p.id
+        );
+        // Both lanes resolve models, and on well-typed concrete-model
+        // programs every lookup is a hit.
+        for (lane, lookups, hits, misses) in [
+            ("check", check.model_lookups, check.model_hits, check.model_misses),
+            ("direct", direct.model_lookups, direct.model_hits, direct.model_misses),
+        ] {
+            assert!(lookups > 0, "{}: {lane} lane resolved no models", p.id);
+            assert_eq!(lookups, hits + misses, "{}: {lane} lane lost a lookup", p.id);
+            assert_eq!(misses, 0, "{}: {lane} lane missed a lookup", p.id);
+        }
+        assert!(
+            direct.model_lookups >= check.model_lookups,
+            "{}: runtime resolution should be at least as frequent as compile-time",
+            p.id
+        );
+    }
+    // Golden values for the paper figures: one dictionary per model
+    // declaration (Fig. 5 declares 2 models, Fig. 6 declares 4).
+    let fig5 = fg::check_program(&parse_expr(corpus::FIG5_ACCUMULATE.source).unwrap()).unwrap();
+    assert_eq!(fig5.check_stats.dicts_built, 2);
+    let fig6 = fg::check_program(&parse_expr(corpus::FIG6_OVERLAPPING.source).unwrap()).unwrap();
+    assert_eq!(fig6.check_stats.dicts_built, 4);
+}

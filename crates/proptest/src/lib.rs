@@ -1,0 +1,772 @@
+//! An offline, dependency-free subset of the [proptest] property-testing
+//! API, vendored into the workspace so `cargo build --offline` works with
+//! no registry access.
+//!
+//! [proptest]: https://docs.rs/proptest
+//!
+//! The subset covers exactly what this workspace's test suites use:
+//!
+//! * the [`proptest!`] macro (with an optional
+//!   `#![proptest_config(...)]` inner attribute),
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`],
+//! * [`Strategy`] with `prop_map`, `prop_recursive`, and `boxed`,
+//! * [`BoxedStrategy`], [`Just`], [`any`], integer/bool/char
+//!   [`Arbitrary`] impls, integer range strategies, tuple strategies,
+//!   string-pattern strategies (length-bounded printable soup),
+//!   [`collection::vec`], and the [`prop_oneof!`] combinator (weighted
+//!   and unweighted).
+//!
+//! # Determinism and regression replay
+//!
+//! Unlike upstream proptest, case generation is fully deterministic: the
+//! RNG for case *i* of test *t* is seeded from a hash of `(file, t, i)`,
+//! so a passing suite stays passing. The `PROPTEST_CASES` environment
+//! variable overrides the per-test case count.
+//!
+//! Checked-in `tests/<name>.proptest-regressions` files are honoured: for
+//! every `cc … # shrinks to var = value, …` line, the recorded integer
+//! values are replayed as the *first* values drawn by the test's
+//! strategies before any random cases run. A test whose parameters are
+//! drawn with `any::<u64>()`-style strategies therefore re-executes the
+//! exact persisted counterexample, which is how the workspace keeps
+//! shrunken seeds as permanent regression tests.
+//!
+//! # Shrinking
+//!
+//! There is none: a failing case is reported verbatim (values and seed).
+//! This trades minimality of counterexamples for zero dependencies.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::sync::Arc;
+
+/// Deterministic RNG handed to strategies, with an optional queue of
+/// *forced* values replayed from a persistence file.
+pub mod test_runner {
+    /// SplitMix64 with a forced-prefix queue for regression replay.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+        forced: std::collections::VecDeque<u64>,
+    }
+
+    impl TestRng {
+        /// A fresh RNG from a seed.
+        pub fn from_seed(seed: u64) -> Self {
+            TestRng {
+                state: seed,
+                forced: Default::default(),
+            }
+        }
+
+        /// A fresh RNG whose first `forced.len()` draws return `forced`.
+        pub fn with_forced(seed: u64, forced: Vec<u64>) -> Self {
+            TestRng {
+                state: seed,
+                forced: forced.into(),
+            }
+        }
+
+        /// The next raw value: a forced value if any remain, else SplitMix64.
+        pub fn next_u64(&mut self) -> u64 {
+            if let Some(v) = self.forced.pop_front() {
+                return v;
+            }
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `0..n` (`n > 0`).
+        pub fn below(&mut self, n: u64) -> u64 {
+            debug_assert!(n > 0);
+            self.next_u64() % n
+        }
+    }
+}
+
+use test_runner::TestRng;
+
+/// Runner configuration. Only `cases` is honoured by this subset.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test (after regression replay).
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A generator of values of one type.
+///
+/// This subset drops shrinking: a strategy is just a deterministic
+/// function from an RNG to a value.
+pub trait Strategy {
+    /// The type of values this strategy produces.
+    type Value: fmt::Debug;
+
+    /// Draws one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        O: fmt::Debug,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Builds a recursive strategy: `recurse` receives the strategy for
+    /// the previous depth and returns the strategy for the next one,
+    /// applied `depth` times starting from `self` (the leaf strategy).
+    ///
+    /// `desired_size` and `expected_branch_size` are accepted for API
+    /// compatibility; depth alone bounds recursion here.
+    fn prop_recursive<S, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        S: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S,
+    {
+        let mut s = self.boxed();
+        for _ in 0..depth {
+            s = recurse(s.clone()).boxed();
+        }
+        s
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Arc::new(self))
+    }
+}
+
+trait DynStrategy<T> {
+    fn dyn_new_value(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn dyn_new_value(&self, rng: &mut TestRng) -> S::Value {
+        self.new_value(rng)
+    }
+}
+
+/// A type-erased, cheaply clonable [`Strategy`].
+pub struct BoxedStrategy<T>(Arc<dyn DynStrategy<T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Arc::clone(&self.0))
+    }
+}
+
+impl<T: fmt::Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        self.0.dyn_new_value(rng)
+    }
+}
+
+impl<T> fmt::Debug for BoxedStrategy<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("BoxedStrategy")
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    O: fmt::Debug,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn new_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + fmt::Debug>(pub T);
+
+impl<T: Clone + fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical whole-domain strategy, used via [`any`].
+pub trait Arbitrary: Sized + fmt::Debug {
+    /// Draws an arbitrary value of this type.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> char {
+        // Mostly printable ASCII, occasionally any scalar value.
+        if rng.below(8) == 0 {
+            char::from_u32(rng.next_u64() as u32 % 0x11_0000).unwrap_or('\u{FFFD}')
+        } else {
+            (b' ' + rng.below(95) as u8) as char
+        }
+    }
+}
+
+/// The canonical strategy for `T`; `any::<u64>()` etc.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// See [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Integer types over which `a..b` ranges are strategies.
+pub trait UniformInt: Copy + fmt::Debug {
+    /// Uniform draw from the inclusive interval `[lo, hi]`.
+    fn uniform(lo: Self, hi: Self, rng: &mut TestRng) -> Self;
+    /// Uniform draw from the half-open interval `[lo, hi)`.
+    fn uniform_exclusive(lo: Self, hi: Self, rng: &mut TestRng) -> Self;
+}
+
+macro_rules! uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            fn uniform(lo: $t, hi: $t, rng: &mut TestRng) -> $t {
+                let span = (hi as i128 - lo as i128 + 1) as u128;
+                let off = (rng.next_u64() as u128 % span) as i128;
+                (lo as i128 + off) as $t
+            }
+            fn uniform_exclusive(lo: $t, hi: $t, rng: &mut TestRng) -> $t {
+                let span = (hi as i128 - lo as i128) as u128;
+                assert!(span > 0, "empty range strategy");
+                let off = (rng.next_u64() as u128 % span) as i128;
+                (lo as i128 + off) as $t
+            }
+        }
+    )*};
+}
+uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<T: UniformInt> Strategy for std::ops::Range<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        T::uniform_exclusive(self.start, self.end, rng)
+    }
+}
+
+impl<T: UniformInt> Strategy for std::ops::RangeInclusive<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        T::uniform(*self.start(), *self.end(), rng)
+    }
+}
+
+/// String pattern strategy: `"\\PC{0,200}"`-style patterns generate
+/// printable soup whose length honours a trailing `{lo,hi}` bound.
+///
+/// This is *not* a regex engine — it is exactly enough for robustness
+/// tests that feed length-bounded arbitrary text to parsers.
+impl Strategy for &'static str {
+    type Value = String;
+    fn new_value(&self, rng: &mut TestRng) -> String {
+        let (lo, hi) = parse_length_bound(self).unwrap_or((0, 64));
+        let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+        let mut s = String::with_capacity(len);
+        for _ in 0..len {
+            s.push(char::arbitrary(rng));
+        }
+        s
+    }
+}
+
+fn parse_length_bound(pat: &str) -> Option<(usize, usize)> {
+    let open = pat.rfind('{')?;
+    let close = pat[open..].find('}')? + open;
+    let body = &pat[open + 1..close];
+    let (lo, hi) = match body.split_once(',') {
+        Some((l, h)) => (l.trim().parse().ok()?, h.trim().parse().ok()?),
+        None => {
+            let n = body.trim().parse().ok()?;
+            (n, n)
+        }
+    };
+    (lo <= hi).then_some((lo, hi))
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $i:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$i.new_value(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+}
+
+/// Weighted choice among boxed alternatives; built by [`prop_oneof!`].
+pub struct Union<T> {
+    options: Vec<(u32, BoxedStrategy<T>)>,
+    total: u64,
+}
+
+impl<T: fmt::Debug> Union<T> {
+    /// A union of `(weight, strategy)` alternatives.
+    pub fn new_weighted(options: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        assert!(!options.is_empty());
+        let total = options.iter().map(|(w, _)| *w as u64).sum();
+        assert!(total > 0, "prop_oneof! weights sum to zero");
+        Union { options, total }
+    }
+}
+
+impl<T: fmt::Debug> Strategy for Union<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.below(self.total);
+        for (w, s) in &self.options {
+            if pick < *w as u64 {
+                return s.new_value(rng);
+            }
+            pick -= *w as u64;
+        }
+        unreachable!()
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::*;
+
+    /// An inclusive size bound for generated collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end);
+            SizeRange { lo: r.start, hi: r.end - 1 }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange { lo: *r.start(), hi: *r.end() }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    /// A strategy for `Vec<T>` with element strategy `element` and a
+    /// length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo + 1) as u64;
+            let len = self.size.lo + rng.below(span) as usize;
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+/// Drives one `proptest!`-generated test: regression replay first, then
+/// deterministic random cases.
+pub mod runner {
+    use super::{ProptestConfig, TestRng};
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::path::PathBuf;
+
+    /// Per-test driver created by the [`proptest!`](crate::proptest) macro.
+    pub struct Runner {
+        cases: u32,
+        name: &'static str,
+        regressions: Vec<Vec<u64>>,
+    }
+
+    impl Runner {
+        /// Builds a runner for test `name` defined in `file` (the
+        /// `file!()` of the macro call site) inside `manifest_dir`.
+        pub fn new(
+            config: ProptestConfig,
+            manifest_dir: &str,
+            file: &'static str,
+            name: &'static str,
+        ) -> Runner {
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(config.cases);
+            Runner {
+                cases,
+                name,
+                regressions: load_regressions(manifest_dir, file),
+            }
+        }
+
+        /// Runs the test body over every regression entry, then `cases`
+        /// random cases. Panics (failing the enclosing `#[test]`) on the
+        /// first failing case, reporting the drawn values.
+        pub fn run<F>(&self, body: F)
+        where
+            F: Fn(&mut TestRng, &mut String),
+        {
+            for (i, forced) in self.regressions.iter().enumerate() {
+                let seed = fnv(&[self.name.as_bytes(), b"regression"], i as u64);
+                let mut rng = TestRng::with_forced(seed, forced.clone());
+                let mut desc = String::new();
+                let outcome = catch_unwind(AssertUnwindSafe(|| body(&mut rng, &mut desc)));
+                if outcome.is_err() {
+                    panic!(
+                        "proptest: persisted regression case {i} for `{}` failed\n\
+                         (values replayed from the .proptest-regressions file)\n{}",
+                        self.name, desc
+                    );
+                }
+            }
+            for i in 0..self.cases {
+                let seed = fnv(&[self.name.as_bytes()], i as u64);
+                let mut rng = TestRng::from_seed(seed);
+                let mut desc = String::new();
+                let outcome = catch_unwind(AssertUnwindSafe(|| body(&mut rng, &mut desc)));
+                if outcome.is_err() {
+                    panic!(
+                        "proptest: case {i}/{} of `{}` failed (rng seed {seed:#x})\n{}",
+                        self.cases, self.name, desc
+                    );
+                }
+            }
+        }
+    }
+
+    /// FNV-1a over some byte chunks plus a counter; stable across runs.
+    fn fnv(chunks: &[&[u8]], extra: u64) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for chunk in chunks {
+            for &b in *chunk {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+        }
+        for b in extra.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h
+    }
+
+    /// Parses `tests/<stem>.proptest-regressions` next to the test file.
+    ///
+    /// Each `cc <hash> # shrinks to a = 1, b = 2` line yields the vector
+    /// of recorded integers `[1, 2]`, which the runner replays as the
+    /// first raw draws of one case.
+    fn load_regressions(manifest_dir: &str, file: &'static str) -> Vec<Vec<u64>> {
+        let stem = std::path::Path::new(file)
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let path: PathBuf = [manifest_dir, "tests", &format!("{stem}.proptest-regressions")]
+            .iter()
+            .collect();
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if !line.starts_with("cc ") {
+                continue;
+            }
+            let Some((_, comment)) = line.split_once('#') else {
+                continue;
+            };
+            let values = parse_forced_values(comment);
+            if !values.is_empty() {
+                out.push(values);
+            }
+        }
+        out
+    }
+
+    /// Extracts the integers following `=` signs in a shrink comment.
+    fn parse_forced_values(comment: &str) -> Vec<u64> {
+        let mut values = Vec::new();
+        let mut rest = comment;
+        while let Some(eq) = rest.find('=') {
+            rest = &rest[eq + 1..];
+            let token: String = rest
+                .trim_start()
+                .chars()
+                .take_while(|c| c.is_ascii_digit() || *c == '-' || *c == '_')
+                .collect();
+            let token = token.replace('_', "");
+            if let Ok(v) = token.parse::<u64>() {
+                values.push(v);
+            } else if let Ok(v) = token.parse::<i64>() {
+                values.push(v as u64);
+            }
+        }
+        values
+    }
+}
+
+/// Everything a test file needs: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Just, ProptestConfig, Strategy,
+    };
+}
+
+/// Asserts a condition inside a property, failing the current case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { ::std::assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { ::std::assert!($cond, $($fmt)*) };
+}
+
+/// Asserts equality inside a property, failing the current case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { ::std::assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { ::std::assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Asserts inequality inside a property, failing the current case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { ::std::assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { ::std::assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Chooses among alternative strategies, optionally weighted
+/// (`weight => strategy`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::Union::new_weighted(vec![
+            $(($weight as u32, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new_weighted(vec![
+            $((1u32, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Declares property tests: each `fn name(var in strategy, …) { body }`
+/// becomes a `#[test]` running the body over generated inputs.
+///
+/// Supports an optional leading `#![proptest_config(expr)]`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (($config:expr) $($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __runner = $crate::runner::Runner::new(
+                    $config,
+                    env!("CARGO_MANIFEST_DIR"),
+                    file!(),
+                    stringify!($name),
+                );
+                __runner.run(|__rng, __desc| {
+                    $(
+                        let __value = $crate::Strategy::new_value(&($strat), __rng);
+                        {
+                            use ::std::fmt::Write as _;
+                            let _ = ::std::writeln!(
+                                __desc, "  {} = {:?}", stringify!($pat), &__value
+                            );
+                        }
+                        let $pat = __value;
+                    )+
+                    $body
+                });
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::from_seed(7);
+        for _ in 0..1000 {
+            let v = (3usize..9).new_value(&mut rng);
+            assert!((3..9).contains(&v));
+            let w = (0u32..=3).new_value(&mut rng);
+            assert!(w <= 3);
+            let x = (-5i32..5).new_value(&mut rng);
+            assert!((-5..5).contains(&x));
+        }
+    }
+
+    #[test]
+    fn forced_prefix_is_replayed_verbatim() {
+        let mut rng = TestRng::with_forced(1, vec![42, 7]);
+        assert_eq!(any::<u64>().new_value(&mut rng), 42);
+        assert_eq!(any::<u64>().new_value(&mut rng), 7);
+        // Subsequent draws fall back to the seeded stream.
+        let _ = any::<u64>().new_value(&mut rng);
+    }
+
+    #[test]
+    fn oneof_and_vec_compose() {
+        let strat = crate::collection::vec(
+            prop_oneof![3 => Just(1u8), 1 => Just(2u8)],
+            2..=5,
+        );
+        let mut rng = TestRng::from_seed(99);
+        for _ in 0..100 {
+            let v = strat.new_value(&mut rng);
+            assert!((2..=5).contains(&v.len()));
+            assert!(v.iter().all(|&x| x == 1 || x == 2));
+        }
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Debug, Clone)]
+        enum T {
+            Leaf,
+            Node(Vec<T>),
+        }
+        fn depth(t: &T) -> usize {
+            match t {
+                T::Leaf => 1,
+                T::Node(ts) => 1 + ts.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let strat = Just(T::Leaf).prop_recursive(4, 24, 3, |inner| {
+            crate::collection::vec(inner, 0..3).prop_map(T::Node)
+        });
+        let mut rng = TestRng::from_seed(5);
+        for _ in 0..50 {
+            assert!(depth(&strat.new_value(&mut rng)) <= 5 + 1);
+        }
+    }
+
+    #[test]
+    fn string_patterns_honour_length_bounds() {
+        let mut rng = TestRng::from_seed(3);
+        for _ in 0..200 {
+            let s = "\\PC{0,20}".new_value(&mut rng);
+            assert!(s.chars().count() <= 20);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The macro itself: multi-binding, weighted strategies, asserts.
+        #[test]
+        fn macro_end_to_end(
+            n in 1usize..10,
+            flags in crate::collection::vec(any::<bool>(), 0..8),
+        ) {
+            prop_assert!((1..10).contains(&n));
+            prop_assert!(flags.len() < 8);
+            prop_assert_eq!(n, n, "reflexivity of {}", n);
+        }
+    }
+}

@@ -85,6 +85,55 @@ enum Instr {
     JumpIfFalse(u32),
 }
 
+/// Opcode names, indexed by [`Instr::opcode`]. Stable: these are the keys
+/// of the `vm_dispatch` group in the `fg-metrics/1` JSON schema.
+pub const OPCODE_NAMES: [&str; 18] = [
+    "int",
+    "bool",
+    "nil",
+    "prim_val",
+    "load",
+    "load_rec",
+    "store",
+    "pop_locals",
+    "new_rec_cell",
+    "set_rec_cell",
+    "closure",
+    "call",
+    "ret",
+    "call_prim",
+    "tuple",
+    "get_field",
+    "jump",
+    "jump_if_false",
+];
+
+impl Instr {
+    /// Dense opcode index into [`OPCODE_NAMES`].
+    fn opcode(&self) -> usize {
+        match self {
+            Instr::Int(_) => 0,
+            Instr::Bool(_) => 1,
+            Instr::Nil => 2,
+            Instr::PrimVal(_) => 3,
+            Instr::Load(_) => 4,
+            Instr::LoadRec(_) => 5,
+            Instr::Store => 6,
+            Instr::PopLocals(_) => 7,
+            Instr::NewRecCell => 8,
+            Instr::SetRecCell(_) => 9,
+            Instr::Closure { .. } => 10,
+            Instr::Call(_) => 11,
+            Instr::Ret => 12,
+            Instr::CallPrim(..) => 13,
+            Instr::Tuple(_) => 14,
+            Instr::GetField(_) => 15,
+            Instr::Jump(_) => 16,
+            Instr::JumpIfFalse(_) => 17,
+        }
+    }
+}
+
 /// A VM runtime value.
 #[derive(Debug, Clone)]
 pub enum VmValue {
@@ -613,6 +662,67 @@ struct Frame {
     stack_base: usize,
 }
 
+/// Per-instruction observation hook for [`run_with`]. The dispatch loop
+/// is generic over this, so the disabled path ([`NoProfile`])
+/// monomorphizes to the unobserved loop — zero cost, verified by the
+/// C1–C4 benchmarks.
+trait Profiler {
+    /// Called once per dispatched instruction, before it executes.
+    fn dispatch(&mut self, instr: &Instr, frames: usize, stack: usize);
+}
+
+/// The no-op profiler behind [`run`].
+struct NoProfile;
+
+impl Profiler for NoProfile {
+    #[inline(always)]
+    fn dispatch(&mut self, _instr: &Instr, _frames: usize, _stack: usize) {}
+}
+
+/// The counting profiler behind [`run_profiled`].
+#[derive(Default)]
+struct Counting {
+    by_opcode: [u64; OPCODE_NAMES.len()],
+    max_frame_depth: u64,
+    max_stack_depth: u64,
+}
+
+impl Profiler for Counting {
+    #[inline]
+    fn dispatch(&mut self, instr: &Instr, frames: usize, stack: usize) {
+        self.by_opcode[instr.opcode()] += 1;
+        self.max_frame_depth = self.max_frame_depth.max(frames as u64);
+        self.max_stack_depth = self.max_stack_depth.max(stack as u64);
+    }
+}
+
+/// Execution counters reported by [`run_profiled`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VmStats {
+    /// Instructions dispatched, by opcode name (all of [`OPCODE_NAMES`],
+    /// in that order, including zero entries).
+    pub by_opcode: Vec<(&'static str, u64)>,
+    /// Deepest call stack reached (frames).
+    pub max_frame_depth: u64,
+    /// Highest operand stack reached (values).
+    pub max_stack_depth: u64,
+}
+
+impl VmStats {
+    /// Total instructions dispatched.
+    pub fn instructions(&self) -> u64 {
+        self.by_opcode.iter().map(|(_, n)| n).sum()
+    }
+
+    /// Dispatch count for one opcode name (0 for unknown names).
+    pub fn count(&self, opcode: &str) -> u64 {
+        self.by_opcode
+            .iter()
+            .find(|(n, _)| *n == opcode)
+            .map_or(0, |(_, n)| *n)
+    }
+}
+
 /// Runs a compiled program to a value.
 ///
 /// # Errors
@@ -620,6 +730,33 @@ struct Frame {
 /// See [`VmError`]; well-typed programs only fail on `car`/`cdr` of `nil`
 /// or ill-founded recursion.
 pub fn run(program: &Program) -> Result<VmValue, VmError> {
+    run_with(program, &mut NoProfile)
+}
+
+/// Runs a compiled program while counting instruction dispatches per
+/// opcode and tracking peak stack depths.
+///
+/// # Errors
+///
+/// Same as [`run`].
+pub fn run_profiled(program: &Program) -> Result<(VmValue, VmStats), VmError> {
+    let mut prof = Counting::default();
+    let v = run_with(program, &mut prof)?;
+    Ok((
+        v,
+        VmStats {
+            by_opcode: OPCODE_NAMES
+                .iter()
+                .copied()
+                .zip(prof.by_opcode.iter().copied())
+                .collect(),
+            max_frame_depth: prof.max_frame_depth,
+            max_stack_depth: prof.max_stack_depth,
+        },
+    ))
+}
+
+fn run_with<P: Profiler>(program: &Program, prof: &mut P) -> Result<VmValue, VmError> {
     let mut stack: Vec<VmValue> = Vec::new();
     let mut frames = vec![Frame {
         func: 0,
@@ -628,6 +765,7 @@ pub fn run(program: &Program) -> Result<VmValue, VmError> {
         stack_base: 0,
     }];
     loop {
+        let frame_depth = frames.len();
         let frame = frames.last_mut().expect("frame stack underflow");
         let func = &program.funcs[frame.func as usize];
         if frame.ip >= func.code.len() {
@@ -635,6 +773,7 @@ pub fn run(program: &Program) -> Result<VmValue, VmError> {
         }
         let instr = func.code[frame.ip].clone();
         frame.ip += 1;
+        prof.dispatch(&instr, frame_depth, stack.len());
         match instr {
             Instr::Int(n) => stack.push(VmValue::Int(n)),
             Instr::Bool(b) => stack.push(VmValue::Bool(b)),
@@ -999,6 +1138,28 @@ mod tests {
         let t = parse_term("iadd(1, 2)").unwrap();
         let p = compile(&t).unwrap();
         assert!(instruction_count(&p) >= 3);
+    }
+
+    #[test]
+    fn profiled_run_agrees_and_counts_dispatches() {
+        let t = parse_term(
+            "let f = fix go: fn(int) -> int.
+               lam n: int. if ile(n, 0) then 0 else iadd(n, go(isub(n, 1)))
+             in f(10)",
+        )
+        .unwrap();
+        let p = compile(&t).unwrap();
+        let plain = run(&p).unwrap();
+        let (profiled, stats) = run_profiled(&p).unwrap();
+        assert!(profiled.agrees_with(&crate::eval(&t).unwrap()), "{profiled}");
+        assert_eq!(format!("{plain}"), format!("{profiled}"));
+        // One `ret` per call, plus the entry frame's own return.
+        assert!(stats.count("call") >= 10, "{stats:?}");
+        assert_eq!(stats.count("ret"), stats.count("call") + 1, "{stats:?}");
+        assert!(stats.instructions() > stats.count("call"), "{stats:?}");
+        assert!(stats.max_frame_depth >= 10, "{stats:?}");
+        assert_eq!(stats.by_opcode.len(), OPCODE_NAMES.len());
+        assert_eq!(stats.count("no_such_opcode"), 0);
     }
 
     #[test]
