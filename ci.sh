@@ -7,3 +7,29 @@ cargo build --release --offline
 cargo test -q --offline
 cargo test -q --workspace --offline
 cargo clippy --workspace --all-targets --offline -- -D warnings
+
+# Trace/explain smoke: every example must check with tracing on, emit
+# fg-trace/1 JSONL whose every line is valid JSON with the required
+# keys, and render an explain report.
+FG=target/release/fg
+for f in examples/*.fg; do
+    "$FG" check --trace /tmp/fg-ci-trace.jsonl "$f" > /dev/null
+    python3 - /tmp/fg-ci-trace.jsonl <<'PYEOF'
+import json, sys
+with open(sys.argv[1]) as fh:
+    lines = fh.read().splitlines()
+assert lines, "empty trace"
+header = json.loads(lines[0])
+for key in ("schema", "command", "source", "events", "dropped"):
+    assert key in header, f"header missing {key}: {header}"
+assert header["schema"] == "fg-trace/1", header
+assert header["events"] == len(lines) - 1, (header, len(lines))
+for line in lines[1:]:
+    ev = json.loads(line)
+    for key in ("ev", "span", "name", "ts_ns"):
+        assert key in ev, f"event missing {key}: {ev}"
+    assert ev["ev"] in ("begin", "end", "instant"), ev
+PYEOF
+    "$FG" explain "$f" > /dev/null
+done
+rm -f /tmp/fg-ci-trace.jsonl

@@ -115,6 +115,45 @@ struct Node {
     children: Vec<TermId>,
 }
 
+/// Why two equivalence classes were unioned (see [`UnionStep`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnionCause {
+    /// The union came directly from an asserted equation ([`Congruence::merge`]).
+    Asserted,
+    /// The union was propagated by the congruence axiom: two parent terms
+    /// `f(ā)` and `f(b̄)` acquired pairwise-equal children.
+    Congruence,
+}
+
+impl fmt::Display for UnionCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UnionCause::Asserted => write!(f, "asserted"),
+            UnionCause::Congruence => write!(f, "congruence"),
+        }
+    }
+}
+
+/// One class union recorded by the optional union log
+/// ([`Congruence::set_union_logging`]): the two terms whose classes were
+/// joined, the representative of the merged class immediately after the
+/// union, and why. The ordered log is exactly the derivation of the
+/// current partition, so a client can extract a proof chain for any
+/// `a = b` verdict from it (the F_G type-equality engine does this for
+/// `fg explain`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnionStep {
+    /// The left term of the union (for [`UnionCause::Congruence`], one of
+    /// the congruent parent terms).
+    pub a: TermId,
+    /// The right term of the union.
+    pub b: TermId,
+    /// The representative of the merged class right after this union.
+    pub repr: TermId,
+    /// Why the classes were joined.
+    pub cause: UnionCause,
+}
+
 /// Incremental congruence closure over a hash-consed term bank.
 ///
 /// Terms are created with [`Congruence::term`] (hash-consed: structurally
@@ -141,6 +180,9 @@ pub struct Congruence {
     /// signature. Rebuilt lazily during merges.
     sigs: HashMap<Node, TermId>,
     stats: CcStats,
+    /// When `true`, every class union is appended to `union_log`.
+    log_unions: bool,
+    union_log: Vec<UnionStep>,
 }
 
 /// Running operation counts for one [`Congruence`] instance.
@@ -243,7 +285,7 @@ impl Congruence {
         let sig = self.signature(id);
         if let Some(&other) = self.sigs.get(&sig) {
             self.sigs.insert(sig, other);
-            self.merge(id, other);
+            self.merge_with_cause(id, other, UnionCause::Congruence);
         } else {
             self.sigs.insert(sig, id);
         }
@@ -260,12 +302,34 @@ impl Congruence {
         &self.nodes[t.index()].children
     }
 
+    /// Turns the union log on or off (off by default: logging costs a
+    /// `Vec` push per union, and clones inherit the accumulated log).
+    pub fn set_union_logging(&mut self, on: bool) {
+        self.log_unions = on;
+    }
+
+    /// The class unions performed while logging was on, in order. Each
+    /// entry is tagged asserted vs. congruence-propagated; see
+    /// [`UnionStep`].
+    pub fn union_log(&self) -> &[UnionStep] {
+        &self.union_log
+    }
+
+    /// Takes (and clears) the accumulated union log.
+    pub fn drain_union_log(&mut self) -> Vec<UnionStep> {
+        std::mem::take(&mut self.union_log)
+    }
+
     /// Asserts that `a` and `b` denote the same value, propagating all
     /// consequences of the congruence axiom.
     pub fn merge(&mut self, a: TermId, b: TermId) {
+        self.merge_with_cause(a, b, UnionCause::Asserted);
+    }
+
+    fn merge_with_cause(&mut self, a: TermId, b: TermId, cause: UnionCause) {
         self.stats.merges += 1;
-        let mut pending = vec![(a, b)];
-        while let Some((x, y)) = pending.pop() {
+        let mut pending = vec![(a, b, cause)];
+        while let Some((x, y, cause)) = pending.pop() {
             let rx = self.find(x);
             let ry = self.find(y);
             if rx == ry {
@@ -282,11 +346,19 @@ impl Congruence {
             // Detach the smaller class's parents before re-canonicalizing.
             let moved = std::mem::take(&mut self.use_list[small.index()]);
             self.uf.union_into(small.index(), big.index());
+            if self.log_unions {
+                self.union_log.push(UnionStep {
+                    a: x,
+                    b: y,
+                    repr: big,
+                    cause,
+                });
+            }
             for &parent in &moved {
                 let sig = self.signature(parent);
                 match self.sigs.get(&sig) {
                     Some(&existing) if !self.uf.same(existing.index(), parent.index()) => {
-                        pending.push((existing, parent));
+                        pending.push((existing, parent, UnionCause::Congruence));
                     }
                     Some(_) => {}
                     None => {
@@ -550,6 +622,71 @@ mod tests {
         assert_eq!(s1.unions, 2);
         assert!(s1.finds > s0.finds);
         assert!(cc.eq(fa, fb));
+    }
+
+    #[test]
+    fn union_log_is_off_by_default() {
+        let mut cc = Congruence::new();
+        let a = cc.constant(Op(0));
+        let b = cc.constant(Op(1));
+        cc.merge(a, b);
+        assert!(cc.union_log().is_empty());
+    }
+
+    #[test]
+    fn union_log_tags_asserted_vs_congruence() {
+        let mut cc = Congruence::new();
+        cc.set_union_logging(true);
+        let a = cc.constant(Op(0));
+        let b = cc.constant(Op(1));
+        let fa = cc.term(f(), &[a]);
+        let fb = cc.term(f(), &[b]);
+        cc.merge(a, b);
+        let log = cc.union_log().to_vec();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log[0].cause, UnionCause::Asserted);
+        assert_eq!((log[0].a, log[0].b), (a, b));
+        assert_eq!(log[1].cause, UnionCause::Congruence);
+        // The propagated union joins the parent terms f(a) and f(b).
+        let pair = [log[1].a, log[1].b];
+        assert!(pair.contains(&fa) && pair.contains(&fb));
+        // Each recorded representative is current for its pair at the
+        // time of the union (and, with no later merges, still is).
+        for step in &log {
+            assert_eq!(cc.find_no_compress(step.a), cc.find_no_compress(step.repr));
+            assert_eq!(cc.find_no_compress(step.b), cc.find_no_compress(step.repr));
+        }
+    }
+
+    #[test]
+    fn union_log_records_hashcons_congruence_at_creation() {
+        // Creating a term whose signature already exists (children merely
+        // equal, not identical) merges immediately — logged as congruence.
+        let mut cc = Congruence::new();
+        cc.set_union_logging(true);
+        let a = cc.constant(Op(0));
+        let b = cc.constant(Op(1));
+        cc.merge(a, b);
+        let fa = cc.term(f(), &[a]);
+        let fb = cc.term(f(), &[b]);
+        assert!(cc.eq(fa, fb));
+        let causes: Vec<UnionCause> = cc.union_log().iter().map(|s| s.cause).collect();
+        assert_eq!(causes, [UnionCause::Asserted, UnionCause::Congruence]);
+    }
+
+    #[test]
+    fn drain_union_log_clears_it() {
+        let mut cc = Congruence::new();
+        cc.set_union_logging(true);
+        let a = cc.constant(Op(0));
+        let b = cc.constant(Op(1));
+        cc.merge(a, b);
+        let drained = cc.drain_union_log();
+        assert_eq!(drained.len(), 1);
+        assert!(cc.union_log().is_empty());
+        let c = cc.constant(Op(2));
+        cc.merge(a, c);
+        assert_eq!(cc.union_log().len(), 1);
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! fg translate <file.fg>   print the System F translation
 //! fg run <file.fg>         translate and evaluate on the System F machine
 //! fg direct <file.fg>      evaluate with the direct interpreter
+//! fg explain <file.fg>     explain model resolution and type equalities
 //! fg ast <file.fg>         print the parsed AST (debug form)
 //! ```
 //!
@@ -21,24 +22,34 @@
 //! runs the pipeline (`check`, `translate`, `elaborate`, `run`, `direct`,
 //! `vm`, `bytecode`). See the `telemetry` crate for the schema and
 //! DESIGN.md for the counter glossary.
+//!
+//! `--trace <path>` writes an `fg-trace/1` JSONL record of the run's
+//! spans and events (`-` for stdout); `--trace-chrome <path>` writes the
+//! same record as Chrome trace-event JSON for Perfetto or
+//! `chrome://tracing`. `fg explain <file.fg>` typechecks the program with
+//! tracing on and prints, per instantiation site, the model-resolution
+//! decision tree and the proof chain of every same-type constraint.
 
 use std::io::Read;
 use std::process::ExitCode;
 
+use telemetry::trace::Tracer;
 use telemetry::Metrics;
 
+mod explain;
 mod repl;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: fg [--prelude] [--profile] [--metrics-json <path>] \
-         <check|translate|run|direct|elaborate|vm|bytecode|fmt|ast> <file.fg|->  |  fg [--prelude] repl\n\
+        "usage: fg [--prelude] [--profile] [--metrics-json <path>] [--trace <path>] [--trace-chrome <path>] \
+         <check|translate|run|direct|elaborate|explain|vm|bytecode|fmt|ast> <file.fg|->  |  fg [--prelude] repl\n\
          \n\
          check      typecheck and print the F_G type\n\
          translate  print the dictionary-passing System F translation\n\
          run        translate, typecheck the output, and evaluate it\n\
          direct     evaluate with the direct F_G interpreter\n\
          elaborate  print the program with inferred type arguments inserted\n\
+         explain    explain model resolution and same-type proofs\n\
          vm         translate, compile to bytecode, and run on the VM\n\
          bytecode   print the compiled bytecode (disassembly)\n\
          fmt        reformat the program\n\
@@ -47,7 +58,9 @@ fn usage() -> ExitCode {
          \n\
          --prelude             wrap the program in the stdlib prelude\n\
          --profile             print phase timings and counters to stderr\n\
-         --metrics-json <path> write an fg-metrics/1 JSON report (- for stdout)"
+         --metrics-json <path> write an fg-metrics/1 JSON report (- for stdout)\n\
+         --trace <path>        write an fg-trace/1 JSONL trace (- for stdout)\n\
+         --trace-chrome <path> write a Chrome trace-event JSON trace (- for stdout)"
     );
     ExitCode::from(2)
 }
@@ -58,6 +71,8 @@ struct Flags {
     use_prelude: bool,
     profile: bool,
     metrics_json: Option<String>,
+    trace: Option<String>,
+    trace_chrome: Option<String>,
 }
 
 fn parse_flags(args: &mut Vec<String>) -> Result<Flags, ExitCode> {
@@ -80,6 +95,22 @@ fn parse_flags(args: &mut Vec<String>) -> Result<Flags, ExitCode> {
                 }
                 args.remove(i);
                 flags.metrics_json = Some(args.remove(i));
+            }
+            "--trace" => {
+                if i + 1 >= args.len() {
+                    eprintln!("fg: --trace needs a path argument");
+                    return Err(usage());
+                }
+                args.remove(i);
+                flags.trace = Some(args.remove(i));
+            }
+            "--trace-chrome" => {
+                if i + 1 >= args.len() {
+                    eprintln!("fg: --trace-chrome needs a path argument");
+                    return Err(usage());
+                }
+                args.remove(i);
+                flags.trace_chrome = Some(args.remove(i));
             }
             _ => i += 1,
         }
@@ -108,14 +139,21 @@ fn main() -> ExitCode {
     };
     if !matches!(
         cmd.as_str(),
-        "check" | "translate" | "run" | "direct" | "elaborate" | "vm" | "bytecode" | "fmt"
-            | "ast"
+        "check" | "translate" | "run" | "direct" | "elaborate" | "explain" | "vm" | "bytecode"
+            | "fmt" | "ast"
     ) {
         return usage();
     }
     let mut metrics = Metrics::new();
     metrics.set_command(cmd);
     metrics.set_source(path);
+    // `explain` always needs the event record; otherwise tracing is on
+    // only when an export was requested.
+    let tracer = if cmd == "explain" || flags.trace.is_some() || flags.trace_chrome.is_some() {
+        Tracer::enabled()
+    } else {
+        Tracer::disabled()
+    };
 
     let source = match read_source(path) {
         Ok(s) => s,
@@ -130,7 +168,9 @@ fn main() -> ExitCode {
         source
     };
 
+    let sp = tracer.begin("parse", vec![("source", path.as_str().into())]);
     let parsed = metrics.phase("parse", || fg::parser::parse_expr(&full));
+    tracer.end(sp);
     let expr = match parsed {
         Ok(e) => e,
         Err(e) => {
@@ -141,15 +181,19 @@ fn main() -> ExitCode {
 
     if cmd == "ast" {
         println!("{expr:#?}");
-        return finish(flags, metrics);
+        return finish(flags, metrics, &tracer, cmd, path);
     }
     if cmd == "fmt" {
         print!("{}", fg::format::format_program(&expr));
-        return finish(flags, metrics);
+        return finish(flags, metrics, &tracer, cmd, path);
     }
+    let sp = tracer.begin("check", vec![("source", path.as_str().into())]);
     // A large Err variant is fine here: this runs once per invocation.
     #[allow(clippy::result_large_err)]
-    let checked = metrics.phase("check_translate", || fg::check_program(&expr));
+    let checked = metrics.phase("check_translate", || {
+        fg::check::check_program_traced(&expr, tracer.clone())
+    });
+    tracer.end(sp);
     let compiled = match checked {
         Ok(c) => c,
         Err(e) => {
@@ -164,14 +208,20 @@ fn main() -> ExitCode {
             println!("{}", compiled.ty);
             Ok(())
         }
+        "explain" => {
+            print!("{}", explain::render(&tracer.events(), &full));
+            Ok(())
+        }
         "elaborate" => {
             println!("{}", compiled.elaborated);
             Ok(())
         }
         "direct" => {
+            let sp = tracer.begin("direct_eval", Vec::new());
             let out = metrics.phase("direct_eval", || {
-                fg::interp::run_direct_profiled(&compiled.elaborated)
+                fg::interp::run_direct_traced(&compiled.elaborated, tracer.clone())
             });
+            tracer.end(sp);
             match out {
                 Ok((v, stats)) => {
                     record_eval_stats(&mut metrics, &stats);
@@ -202,10 +252,14 @@ fn main() -> ExitCode {
             }
         }
         "vm" => {
+            let sp = tracer.begin("vm_compile", Vec::new());
             let program = metrics.phase("vm_compile", || system_f::vm::compile(&compiled.term));
+            tracer.end(sp);
             match program {
                 Ok(p) => {
+                    let sp = tracer.begin("vm_run", Vec::new());
                     let out = metrics.phase("vm_run", || system_f::vm::run_profiled(&p));
+                    tracer.end(sp);
                     match out {
                         Ok((v, stats)) => {
                             record_vm_stats(&mut metrics, &stats);
@@ -225,13 +279,17 @@ fn main() -> ExitCode {
             }
         }
         "run" => {
+            let sp = tracer.begin("sf_typecheck", Vec::new());
             let well_typed =
                 metrics.phase("sf_typecheck", || system_f::typecheck(&compiled.term));
+            tracer.end(sp);
             if let Err(e) = well_typed {
                 eprintln!("fg: internal error: translation is ill-typed: {e}");
                 return ExitCode::FAILURE;
             }
+            let sp = tracer.begin("sf_eval", Vec::new());
             let out = metrics.phase("sf_eval", || system_f::eval(&compiled.term));
+            tracer.end(sp);
             match out {
                 Ok(v) => {
                     println!("{v}");
@@ -246,7 +304,7 @@ fn main() -> ExitCode {
         _ => return usage(),
     };
     match status {
-        Ok(()) => finish(flags, metrics),
+        Ok(()) => finish(flags, metrics, &tracer, cmd, path),
         Err(code) => code,
     }
 }
@@ -310,7 +368,7 @@ fn record_vm_stats(metrics: &mut Metrics, stats: &system_f::vm::VmStats) {
 }
 
 /// Emits the collected telemetry as requested by the flags.
-fn finish(flags: Flags, metrics: Metrics) -> ExitCode {
+fn finish(flags: Flags, metrics: Metrics, tracer: &Tracer, cmd: &str, source: &str) -> ExitCode {
     if flags.profile {
         eprint!("{}", metrics.render_table());
     }
@@ -323,7 +381,28 @@ fn finish(flags: Flags, metrics: Metrics) -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
+    if let Some(path) = &flags.trace {
+        if write_report(path, &tracer.to_jsonl(cmd, source)).is_err() {
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(path) = &flags.trace_chrome {
+        if write_report(path, &tracer.to_chrome_json()).is_err() {
+            return ExitCode::FAILURE;
+        }
+    }
     ExitCode::SUCCESS
+}
+
+/// Writes a rendered report to `path` (`-` for stdout).
+fn write_report(path: &str, contents: &str) -> Result<(), ()> {
+    if path == "-" {
+        print!("{contents}");
+        return Ok(());
+    }
+    std::fs::write(path, contents).map_err(|e| {
+        eprintln!("fg: cannot write {path}: {e}");
+    })
 }
 
 fn read_source(path: &str) -> std::io::Result<String> {

@@ -222,6 +222,98 @@ fn metrics_json_writes_to_a_file() {
     assert!(json.contains("\"eval_steps\": "), "{json}");
 }
 
+/// The `fg-trace/1` JSONL contract: a header object naming the schema,
+/// command, and source, followed by one event object per line, each with
+/// the `ev`/`span`/`name`/`ts_ns` keys and balanced begin/end pairs.
+#[test]
+fn trace_flag_writes_fg_trace_jsonl() {
+    let path = format!(
+        "{}/trace-{}.jsonl",
+        env!("CARGO_TARGET_TMPDIR"),
+        std::process::id()
+    );
+    let (stdout, stderr, ok) = run_fg(&["check", "--trace", &path, "-"], FIG5);
+    assert!(ok, "stderr: {stderr}");
+    assert_eq!(stdout.trim(), "int", "tracing must not pollute stdout");
+    let jsonl = std::fs::read_to_string(&path).expect("trace file written");
+    std::fs::remove_file(&path).ok();
+    let mut lines = jsonl.lines();
+    let header = lines.next().expect("header line");
+    for key in [
+        "\"schema\":\"fg-trace/1\"",
+        "\"command\":\"check\"",
+        "\"source\":\"-\"",
+        "\"events\":",
+        "\"dropped\":0",
+    ] {
+        assert!(header.contains(key), "missing {key} in header: {header}");
+    }
+    let (mut begins, mut ends, mut total) = (0, 0, 0);
+    for line in lines {
+        total += 1;
+        assert!(
+            line.starts_with("{\"ev\":\"") && line.ends_with('}'),
+            "not an event object: {line}"
+        );
+        for key in ["\"span\":", "\"name\":", "\"ts_ns\":"] {
+            assert!(line.contains(key), "missing {key} in event: {line}");
+        }
+        if line.starts_with("{\"ev\":\"begin\"") {
+            begins += 1;
+        } else if line.starts_with("{\"ev\":\"end\"") {
+            ends += 1;
+        }
+    }
+    assert!(header.contains(&format!("\"events\":{total}")), "{header}");
+    assert_eq!(begins, ends, "unbalanced spans in:\n{jsonl}");
+    // The check lane traced actual resolution work, not just the phases.
+    assert!(jsonl.contains("\"name\":\"model_resolve\""), "{jsonl}");
+    assert!(jsonl.contains("\"name\":\"model_selected\""), "{jsonl}");
+}
+
+#[test]
+fn trace_chrome_flag_writes_trace_event_json() {
+    let (stdout, stderr, ok) = run_fg(&["run", "--trace-chrome", "-", "-"], FIG5);
+    assert!(ok, "stderr: {stderr}");
+    // The value line comes first, then the Chrome trace JSON document.
+    let (value, json) = stdout.split_once('\n').expect("value line + json");
+    assert_eq!(value.trim(), "3");
+    assert!(json.trim_start().starts_with('{'), "not a json object: {json}");
+    assert!(json.contains("\"displayTimeUnit\":\"ns\""), "{json}");
+    assert!(json.contains("\"traceEvents\":["), "{json}");
+    for needle in ["\"ph\":\"B\"", "\"ph\":\"E\"", "\"name\":\"parse\""] {
+        assert!(json.contains(needle), "missing {needle} in: {json}");
+    }
+}
+
+/// The headline acceptance scenario: on the Fig. 6 overlapping-models
+/// program, `fg explain` must name, for each of the two call sites, the
+/// distinct lexically scoped model that was selected.
+#[test]
+fn explain_subcommand_names_both_scoped_models_on_fig6() {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../examples/fig6_overlapping.fg"
+    );
+    let (stdout, stderr, ok) = run_fg(&["explain", path], "");
+    assert!(ok, "stderr: {stderr}");
+    for needle in [
+        // First arm: the call at 16:3 selects the model declared at 15:3.
+        "instantiation <int> at 16:3",
+        "selected #1: model Monoid<int> declared at 15:3",
+        // Second arm: the call at 21:3 selects the model declared at 20:3.
+        "instantiation <int> at 21:3",
+        "selected #1: model Monoid<int> declared at 20:3",
+    ] {
+        assert!(stdout.contains(needle), "missing {needle:?} in:\n{stdout}");
+    }
+    // The decision trees show the resolution sites and scope depths.
+    assert!(
+        stdout.contains("resolve Monoid<int> (site instantiate, 2 models in scope) -> hit"),
+        "{stdout}"
+    );
+}
+
 #[test]
 fn profile_flag_prints_a_table_to_stderr() {
     let (stdout, stderr, ok) = run_fg(&["check", "--profile", "-"], FIG5);

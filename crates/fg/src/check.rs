@@ -27,6 +27,7 @@
 use std::collections::HashMap;
 
 use system_f::{Prim, Symbol, Term};
+use telemetry::trace::{SpanId, Tracer};
 
 use crate::ast::{ConceptDecl, ConceptItem, Constraint, Expr, ExprKind, FgTy, ModelDecl, ModelItem};
 use crate::concepts::{ConceptInfo, ConceptTable, MemberSig};
@@ -99,21 +100,34 @@ pub struct CheckStats {
 /// # Ok::<(), fg::CheckError>(())
 /// ```
 pub fn check_program(e: &Expr) -> Result<Compiled, CheckError> {
+    check_program_traced(e, Tracer::disabled())
+}
+
+/// [`check_program`] with a trace sink attached: the checker reports
+/// model-resolution decisions, dictionary construction, where-clause
+/// discharge, and congruence unions to `tracer` (see the `telemetry`
+/// crate's `trace` module for the event model). With a disabled tracer
+/// this is exactly `check_program`.
+pub fn check_program_traced(e: &Expr, tracer: Tracer) -> Result<Compiled, CheckError> {
     // The checker recurses once per nested expression; library-sized
     // programs (a prelude is a single deeply right-nested expression)
     // exceed small default thread stacks. Shallow programs check inline;
-    // deep ones get a dedicated big-stack thread.
+    // deep ones get a dedicated big-stack thread. The tracer handle is
+    // shared, so the record is seamless across the thread boundary.
     if !depth_exceeds(e, 40) {
         let mut checker = Checker::new();
+        checker.set_tracer(tracer);
         let (ty, term, elaborated) = checker.check_elab(e)?;
         return Ok(compiled(checker, ty, term, elaborated));
     }
     std::thread::scope(|scope| {
+        let tracer = tracer.clone();
         let handle = std::thread::Builder::new()
             .name("fg-checker".to_owned())
             .stack_size(64 * 1024 * 1024)
-            .spawn_scoped(scope, || {
+            .spawn_scoped(scope, move || {
                 let mut checker = Checker::new();
+                checker.set_tracer(tracer);
                 let (ty, term, elaborated) = checker.check_elab(e)?;
                 Ok(compiled(checker, ty, term, elaborated))
             })
@@ -238,6 +252,13 @@ pub struct ModelEntry {
     /// The parameterized model's own where clause (constraints on
     /// `params`), resolved; satisfied recursively at each use.
     pub constraints: Vec<RConstraint>,
+    /// Where the entry came from: the `model` declaration's span, or the
+    /// span of the where clause that introduced it as a proxy. Used by
+    /// trace events and `fg explain` to name the selected model.
+    pub decl_span: Span,
+    /// `true` for where-clause proxy entries (hypothetical models standing
+    /// for a constraint dictionary), `false` for declared models.
+    pub is_proxy: bool,
 }
 
 /// The outcome of resolving a model requirement `C<τ̄>` against the models
@@ -330,12 +351,38 @@ pub struct Checker {
     /// Lifetime-monotonic work counters (never rolled back by
     /// [`Checker::restore`]).
     stats: CheckStats,
+    /// Trace sink for resolution/dictionary/where events (disabled by
+    /// default; shared with `teq` once set).
+    tracer: Tracer,
 }
 
 impl Checker {
     /// Creates a checker with an empty environment.
     pub fn new() -> Checker {
         Checker::default()
+    }
+
+    /// Attaches a trace sink; the type-equality engine shares it (union
+    /// and assertion events interleave with the checker's own spans).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.teq.set_tracer(tracer.clone());
+        self.tracer = tracer;
+    }
+
+    /// Renders type arguments for trace attributes: `<int, list t>`.
+    fn render_args(args: &[RTy]) -> String {
+        let parts: Vec<String> = args.iter().map(|a| a.to_string()).collect();
+        format!("<{}>", parts.join(", "))
+    }
+
+    /// Renders a projection path for trace attributes: `.0.1` (empty for
+    /// a model's own dictionary).
+    fn render_path(path: &[usize]) -> String {
+        path.iter().fold(String::new(), |mut acc, i| {
+            acc.push('.');
+            acc.push_str(&i.to_string());
+            acc
+        })
     }
 
     /// The models currently in scope (newest last). Exposed for tests and
@@ -683,6 +730,24 @@ impl Checker {
         register_models: bool,
         span: Span,
     ) -> Result<WhereScope, CheckError> {
+        let sp = self.tracer.begin_with("where_enter", || {
+            vec![
+                ("constraints", constraints.len().into()),
+                ("span_start", span.start.into()),
+                ("span_end", span.end.into()),
+            ]
+        });
+        let out = self.enter_where_inner(constraints, register_models, span);
+        self.tracer.end(sp);
+        out
+    }
+
+    fn enter_where_inner(
+        &mut self,
+        constraints: &[RConstraint],
+        register_models: bool,
+        span: Span,
+    ) -> Result<WhereScope, CheckError> {
         let plan = self.where_plan(constraints);
         let mut assoc_binders = Vec::with_capacity(plan.assoc_slots.len());
         for slot in &plan.assoc_slots {
@@ -709,7 +774,7 @@ impl Checker {
         for dict in &plan.dicts {
             let name = Symbol::fresh(dict.concept_name.as_str());
             if register_models {
-                self.register_proxy(dict, name, Vec::new());
+                self.register_proxy(dict, name, Vec::new(), span);
             }
             dict_names.push(name);
             dict_tys.push(self.dict_ty(dict, span)?);
@@ -723,8 +788,19 @@ impl Checker {
 
     /// Registers proxy model entries for a dictionary and (recursively) its
     /// refinement/requirement sub-dictionaries, mirroring the paper's `bm`.
-    fn register_proxy(&mut self, plan: &DictPlan, dict: Symbol, path: Vec<usize>) {
+    fn register_proxy(&mut self, plan: &DictPlan, dict: Symbol, path: Vec<usize>, span: Span) {
         let info = self.concepts.get(plan.concept).clone();
+        if self.tracer.is_enabled() {
+            self.tracer.instant(
+                "where_proxy",
+                vec![
+                    ("concept", info.name.to_string().into()),
+                    ("args", Self::render_args(&plan.args).into()),
+                    ("dict", dict.to_string().into()),
+                    ("path", Self::render_path(&path).into()),
+                ],
+            );
+        }
         // A proxy's associated types stand for themselves: each maps to
         // its own projection `C<args>.a` (exactly what
         // `instantiation_subst` would produce, built directly so there is
@@ -753,11 +829,13 @@ impl Checker {
             under_construction: None,
             params: Vec::new(),
             constraints: Vec::new(),
+            decl_span: span,
+            is_proxy: true,
         });
         for (i, child) in plan.children.iter().enumerate() {
             let mut child_path = path.clone();
             child_path.push(i);
-            self.register_proxy(child, dict, child_path);
+            self.register_proxy(child, dict, child_path, span);
         }
     }
 
@@ -869,7 +947,10 @@ impl Checker {
             match c {
                 RConstraint::Model { concept, args, .. } => {
                     let inst: Vec<RTy> = args.iter().map(|a| subst(a, sigma)).collect();
-                    if self.resolve_model(concept, &inst, false).is_none() {
+                    if self
+                        .resolve_model_at(concept, &inst, false, "constraint")
+                        .is_none()
+                    {
                         return false;
                     }
                 }
@@ -1006,20 +1087,115 @@ impl Checker {
         args: &[RTy],
         allow_uc: bool,
     ) -> Option<ResolvedModel> {
+        self.resolve_model_at(cid, args, allow_uc, "query")
+    }
+
+    /// [`Checker::resolve_model`] with a `site` tag describing *why* the
+    /// lookup happened (`instantiate`, `model_decl`, `member`,
+    /// `constraint`, `query`), carried on the emitted trace events so
+    /// tooling can compare like-for-like decision sequences across lanes.
+    fn resolve_model_at(
+        &mut self,
+        cid: ConceptId,
+        args: &[RTy],
+        allow_uc: bool,
+        site: &'static str,
+    ) -> Option<ResolvedModel> {
         self.stats.model_lookups += 1;
         self.stats.max_scope_depth = self.stats.max_scope_depth.max(self.models.len() as u64);
         if self.busy > LOOKUP_DEPTH_LIMIT {
             self.stats.model_misses += 1;
+            self.tracer.instant_with("lookup_depth_limit", || {
+                vec![("concept", self.concepts.name(cid).to_string().into())]
+            });
             return None;
         }
+        let sp = self.tracer.begin_with("model_resolve", || {
+            vec![
+                ("concept", self.concepts.name(cid).to_string().into()),
+                ("args", Self::render_args(args).into()),
+                ("site", site.into()),
+                ("scope_depth", self.models.len().into()),
+            ]
+        });
         self.busy += 1;
-        let out = self.resolve_model_inner(cid, args, allow_uc);
+        let out = self.resolve_model_inner(cid, args, allow_uc, site, sp);
         self.busy -= 1;
         match &out {
             Some(_) => self.stats.model_hits += 1,
             None => self.stats.model_misses += 1,
         }
+        self.tracer.end_with(
+            sp,
+            vec![(
+                "outcome",
+                if out.is_some() { "hit" } else { "miss" }.into(),
+            )],
+        );
         out
+    }
+
+    /// Emits the `candidate_rejected` trace event for scope entry `index`.
+    fn trace_rejected(&self, index: usize, reason: &'static str) {
+        self.tracer.instant_with("candidate_rejected", || {
+            vec![("index", index.into()), ("reason", reason.into())]
+        });
+    }
+
+    /// Emits the `model_selected` trace event: scope entry `index` won the
+    /// lookup for `C<nargs>` performed at `site`.
+    fn trace_selected(&self, entry: &ModelEntry, index: usize, nargs: &[RTy], site: &'static str) {
+        if !self.tracer.is_enabled() {
+            return;
+        }
+        self.tracer.instant(
+            "model_selected",
+            vec![
+                ("concept", self.concepts.name(entry.concept).to_string().into()),
+                ("args", Self::render_args(nargs).into()),
+                ("head", Self::render_args(&entry.args).into()),
+                ("site", site.into()),
+                ("index", index.into()),
+                ("dict", entry.dict.to_string().into()),
+                ("path", Self::render_path(&entry.path).into()),
+                ("parameterized", u64::from(!entry.params.is_empty()).into()),
+                ("proxy", u64::from(entry.is_proxy).into()),
+                ("decl_start", entry.decl_span.start.into()),
+                ("decl_end", entry.decl_span.end.into()),
+            ],
+        );
+    }
+
+    /// Emits the `same_type` trace event for a discharged (or failed)
+    /// same-type constraint, including the minimal chain of asserted
+    /// equalities that proves it when one exists.
+    fn trace_same_type(&mut self, a: &RTy, b: &RTy, holds: bool, site: &'static str) {
+        if !self.tracer.is_enabled() {
+            return;
+        }
+        let proof = if holds {
+            match self.teq.explain(a, b) {
+                Some(chain) if chain.is_empty() => "by normalization".to_string(),
+                Some(chain) => chain
+                    .iter()
+                    .map(|(x, y)| format!("{x} = {y}"))
+                    .collect::<Vec<_>>()
+                    .join("; "),
+                None => "by normalization".to_string(),
+            }
+        } else {
+            String::new()
+        };
+        self.tracer.instant(
+            "same_type",
+            vec![
+                ("lhs", a.to_string().into()),
+                ("rhs", b.to_string().into()),
+                ("holds", u64::from(holds).into()),
+                ("site", site.into()),
+                ("proof", proof.into()),
+            ],
+        );
     }
 
     fn resolve_model_inner(
@@ -1027,7 +1203,10 @@ impl Checker {
         cid: ConceptId,
         args: &[RTy],
         allow_uc: bool,
+        site: &'static str,
+        sp: SpanId,
     ) -> Option<ResolvedModel> {
+        let _ = sp;
         let nargs: Vec<RTy> = args.iter().map(|a| self.norm(a)).collect();
         for i in (0..self.models.len()).rev() {
             self.stats.candidates_scanned += 1;
@@ -1035,7 +1214,21 @@ impl Checker {
             if entry.concept != cid || entry.args.len() != nargs.len() {
                 continue;
             }
+            // From here on the entry is a real candidate: same concept,
+            // same arity. Record it (newest-first scan order: higher
+            // indices are inner scopes).
+            self.tracer.instant_with("candidate", || {
+                vec![
+                    ("index", i.into()),
+                    ("head", Self::render_args(&entry.args).into()),
+                    ("dict", entry.dict.to_string().into()),
+                    ("parameterized", u64::from(!entry.params.is_empty()).into()),
+                    ("proxy", u64::from(entry.is_proxy).into()),
+                    ("decl_start", entry.decl_span.start.into()),
+                ]
+            });
             if entry.under_construction.is_some() && !allow_uc {
+                self.trace_rejected(i, "under_construction");
                 continue;
             }
             if entry.params.is_empty() {
@@ -1045,12 +1238,14 @@ impl Checker {
                     .zip(&nargs)
                     .all(|(a, b)| self.types_equal(a, b));
                 if !matches {
+                    self.trace_rejected(i, "args_mismatch");
                     continue;
                 }
                 let mut term = Term::Var(entry.dict);
                 for &k in &entry.path {
                     term = Term::nth(term, k);
                 }
+                self.trace_selected(&entry, i, &nargs, site);
                 return Some(ResolvedModel {
                     term,
                     assoc: entry.assoc.clone(),
@@ -1060,6 +1255,7 @@ impl Checker {
             }
             // Parameterized model.
             let Some(sigma) = self.match_entry(&entry, &nargs) else {
+                self.trace_rejected(i, "pattern_mismatch");
                 continue;
             };
             let plan = self.where_plan(&entry.constraints);
@@ -1067,7 +1263,7 @@ impl Checker {
             let mut ok = true;
             for dict in &plan.dicts {
                 let inst: Vec<RTy> = dict.args.iter().map(|a| subst(a, &sigma)).collect();
-                match self.resolve_model(dict.concept, &inst, false) {
+                match self.resolve_model_at(dict.concept, &inst, false, "constraint") {
                     Some(rm) if rm.under_construction.is_none() => dict_terms.push(rm.term),
                     _ => {
                         ok = false;
@@ -1075,19 +1271,23 @@ impl Checker {
                     }
                 }
             }
-            if ok {
-                for (a, b) in &plan.same_constraints {
-                    let (ia, ib) = (subst(a, &sigma), subst(b, &sigma));
-                    if !self.types_equal(&ia, &ib) {
-                        ok = false;
-                        break;
-                    }
+            if !ok {
+                self.trace_rejected(i, "constraint_unsatisfied");
+                continue;
+            }
+            for (a, b) in &plan.same_constraints {
+                let (ia, ib) = (subst(a, &sigma), subst(b, &sigma));
+                if !self.types_equal(&ia, &ib) {
+                    ok = false;
+                    break;
                 }
             }
             if !ok {
+                self.trace_rejected(i, "same_type_unsatisfied");
                 continue;
             }
             if let Some(locals) = entry.under_construction.clone() {
+                self.trace_selected(&entry, i, &nargs, site);
                 return Some(ResolvedModel {
                     term: Term::Var(entry.dict),
                     assoc: entry
@@ -1143,6 +1343,7 @@ impl Checker {
                 }
             }
             if !translatable {
+                self.trace_rejected(i, "untranslatable");
                 continue;
             }
             self.stats.dict_instantiations += 1;
@@ -1155,6 +1356,7 @@ impl Checker {
                 .iter()
                 .map(|(n, t)| (*n, subst(t, &sigma)))
                 .collect();
+            self.trace_selected(&entry, i, &nargs, site);
             return Some(ResolvedModel {
                 term,
                 assoc,
@@ -1258,7 +1460,7 @@ impl Checker {
         member: Symbol,
         span: Span,
     ) -> Result<(RTy, Term), CheckError> {
-        let Some(resolved) = self.resolve_model(cid, args, true) else {
+        let Some(resolved) = self.resolve_model_at(cid, args, true, "member") else {
             return self.err(
                 ErrorKind::NoModel {
                     concept: cname,
@@ -1706,6 +1908,33 @@ impl Checker {
         rargs: &[RTy],
         span: Span,
     ) -> Result<(RTy, Term), CheckError> {
+        let sp = self.tracer.begin_with("instantiate", || {
+            vec![
+                ("args", Self::render_args(rargs).into()),
+                ("span_start", span.start.into()),
+                ("span_end", span.end.into()),
+            ]
+        });
+        let out = self.instantiate_inner(fterm, vars, constraints, body, rargs, span);
+        self.tracer.end_with(
+            sp,
+            vec![(
+                "outcome",
+                if out.is_ok() { "ok" } else { "error" }.into(),
+            )],
+        );
+        out
+    }
+
+    fn instantiate_inner(
+        &mut self,
+        fterm: Term,
+        vars: &[Symbol],
+        constraints: &[RConstraint],
+        body: &RTy,
+        rargs: &[RTy],
+        span: Span,
+    ) -> Result<(RTy, Term), CheckError> {
         let sigma: HashMap<Symbol, RTy> =
             vars.iter().copied().zip(rargs.iter().cloned()).collect();
         // The plan is computed on the *uninstantiated* constraints so the
@@ -1715,7 +1944,9 @@ impl Checker {
         for (a, b) in &plan.same_constraints {
             let ia = subst(a, &sigma);
             let ib = subst(b, &sigma);
-            if !self.types_equal(&ia, &ib) {
+            let holds = self.types_equal(&ia, &ib);
+            self.trace_same_type(&ia, &ib, holds, "instantiate");
+            if !holds {
                 return self.err(ErrorKind::SameTypeViolation(ia, ib), span);
             }
         }
@@ -1723,7 +1954,9 @@ impl Checker {
         let mut dict_terms = Vec::with_capacity(plan.dicts.len());
         for dict in &plan.dicts {
             let inst_args: Vec<RTy> = dict.args.iter().map(|a| subst(a, &sigma)).collect();
-            let Some(resolved) = self.resolve_model(dict.concept, &inst_args, false) else {
+            let Some(resolved) =
+                self.resolve_model_at(dict.concept, &inst_args, false, "instantiate")
+            else {
                 return self.err(
                     ErrorKind::NoModel {
                         concept: dict.concept_name,
@@ -1938,8 +2171,32 @@ impl Checker {
     }
 
     /// Checks a model declaration (the MDL rule) and its body.
-    #[allow(clippy::redundant_closure_call)]
     fn check_model_decl(
+        &mut self,
+        decl: &ModelDecl,
+        body: &Expr,
+    ) -> Result<(RTy, Term, Expr), CheckError> {
+        let sp = self.tracer.begin_with("dict_build", || {
+            vec![
+                ("concept", decl.concept.to_string().into()),
+                ("parameterized", u64::from(!decl.params.is_empty()).into()),
+                ("span_start", decl.span.start.into()),
+                ("span_end", decl.span.end.into()),
+            ]
+        });
+        let out = self.check_model_decl_inner(decl, body);
+        self.tracer.end_with(
+            sp,
+            vec![(
+                "outcome",
+                if out.is_ok() { "ok" } else { "error" }.into(),
+            )],
+        );
+        out
+    }
+
+    #[allow(clippy::redundant_closure_call)]
+    fn check_model_decl_inner(
         &mut self,
         decl: &ModelDecl,
         body: &Expr,
@@ -2064,7 +2321,7 @@ impl Checker {
             let mut child_terms: Vec<Term> = Vec::new();
             for (rc, rargs) in info.refines.iter().chain(&info.requires) {
                 let inst_args: Vec<RTy> = rargs.iter().map(|a| subst(a, &s)).collect();
-                let Some(rm) = self.resolve_model(*rc, &inst_args, false) else {
+                let Some(rm) = self.resolve_model_at(*rc, &inst_args, false, "model_decl") else {
                     return self.err(
                         ErrorKind::MissingRefinedModel {
                             concept: self.concepts.name(*rc),
@@ -2080,7 +2337,9 @@ impl Checker {
             for (lhs, rhs) in &info.same {
                 let il = subst(lhs, &s);
                 let ir = subst(rhs, &s);
-                if !self.types_equal(&il, &ir) {
+                let holds = self.types_equal(&il, &ir);
+                self.trace_same_type(&il, &ir, holds, "model_decl");
+                if !holds {
                     return self.err(ErrorKind::SameTypeViolation(il, ir), span);
                 }
             }
@@ -2116,6 +2375,8 @@ impl Checker {
                         under_construction: Some(locals.clone()),
                         params: decl.params.clone(),
                         constraints: rconstraints.clone(),
+                        decl_span: span,
+                        is_proxy: false,
                     });
                     // Hygiene: the concept's parameter and associated-type
                     // names may collide with type variables in scope (in
@@ -2189,6 +2450,13 @@ impl Checker {
         // Assemble the dictionary: let m_i = e_i in tuple(children…, m̄),
         // wrapped in a type/dictionary abstraction when parameterized.
         self.stats.dicts_built += 1;
+        self.tracer.instant_with("dict_assembled", || {
+            vec![
+                ("dict", dict_name.to_string().into()),
+                ("children", child_terms.len().into()),
+                ("members", bindings.len().into()),
+            ]
+        });
         let mut dict_items: Vec<Term> =
             Vec::with_capacity(child_terms.len() + bindings.len());
         dict_items.extend(child_terms);
@@ -2245,6 +2513,8 @@ impl Checker {
                 under_construction: None,
                 params: decl.params.clone(),
                 constraints: rconstraints.clone(),
+                decl_span: span,
+                is_proxy: false,
             });
             self.check_elab(body)
         })();

@@ -23,10 +23,45 @@ impl CheckError {
         CheckError { kind, span }
     }
 
-    /// Renders the error with a line/column position computed from `src`.
+    /// Renders the error with a line/column position computed from `src`,
+    /// followed by an excerpt of the offending source line with a caret
+    /// underline beneath the erroneous span:
+    ///
+    /// ```text
+    /// 2:3: error: no model for `A<int>` is in scope
+    ///   |   f[int](1)
+    ///   |   ^^^^^^
+    /// ```
+    ///
+    /// The underline covers the span's extent on its first line (clamped to
+    /// the line end, at least one caret). Programmatic ASTs with a zero
+    /// span, or spans past the end of `src`, render without an excerpt.
     pub fn render(&self, src: &str) -> String {
         let (line, col) = self.span.line_col(src);
-        format!("{}:{}: error: {}", line, col, self.kind)
+        let mut out = format!("{}:{}: error: {}", line, col, self.kind);
+        if self.span.end == 0 || self.span.start >= src.len() {
+            return out;
+        }
+        let Some(text) = src.lines().nth(line - 1) else {
+            return out;
+        };
+        // Underline in characters, from `col` to where the span leaves the
+        // line (assuming char == byte for the ASCII concrete syntax, and
+        // clamping otherwise).
+        let chars_on_line = text.chars().count();
+        let start = (col - 1).min(chars_on_line);
+        let span_chars = self.span.end.saturating_sub(self.span.start).max(1);
+        let width = span_chars.min(chars_on_line.saturating_sub(start)).max(1);
+        let pad: String = text
+            .chars()
+            .take(start)
+            .map(|c| if c == '\t' { '\t' } else { ' ' })
+            .collect();
+        out.push_str(&format!(
+            "\n  |   {text}\n  |   {pad}{carets}",
+            carets = "^".repeat(width)
+        ));
+        out
     }
 }
 
@@ -295,5 +330,61 @@ impl fmt::Display for ErrorKind {
                 write!(f, "internal checker error: {msg}")
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn no_model_at(start: usize, end: usize) -> CheckError {
+        CheckError::new(
+            ErrorKind::NoModel {
+                concept: Symbol::intern("A"),
+                args: vec![RTy::Int],
+            },
+            Span::new(start, end),
+        )
+    }
+
+    #[test]
+    fn render_pins_position_excerpt_and_caret_format() {
+        let src = "concept A<t> { }\nf[int](1)\n";
+        // Span of `f[int]` on line 2 (bytes 17..23).
+        let err = no_model_at(17, 23);
+        assert_eq!(
+            err.render(src),
+            "2:1: error: no model for `A<int>` is in scope\n\
+             \x20 |   f[int](1)\n\
+             \x20 |   ^^^^^^"
+        );
+    }
+
+    #[test]
+    fn render_caret_is_clamped_to_the_line_end() {
+        let src = "x\nfoo bar\n";
+        // A span that runs past the end of line 2 from column 5.
+        let err = no_model_at(6, 60);
+        let rendered = err.render(src);
+        assert!(
+            rendered.ends_with("  |   foo bar\n  |       ^^^"),
+            "unexpected render:\n{rendered}"
+        );
+    }
+
+    #[test]
+    fn render_zero_span_has_no_excerpt() {
+        let err = no_model_at(0, 0);
+        assert_eq!(
+            err.render("whatever\n"),
+            "1:1: error: no model for `A<int>` is in scope"
+        );
+    }
+
+    #[test]
+    fn render_span_past_source_end_has_no_excerpt() {
+        let err = no_model_at(100, 104);
+        let rendered = err.render("short\n");
+        assert!(!rendered.contains('|'), "unexpected excerpt:\n{rendered}");
     }
 }

@@ -18,6 +18,7 @@ use std::fmt;
 use std::rc::Rc;
 
 use system_f::{Prim, Symbol};
+use telemetry::trace::Tracer;
 
 use crate::ast::{ConceptItem, Constraint, Expr, ExprKind, FgTy, ModelItem};
 use crate::concepts::{ConceptInfo, ConceptTable, MemberSig};
@@ -221,6 +222,8 @@ pub struct DEnv {
     /// (closures capture the environment, so the whole run reports into
     /// the same cells).
     stats: Rc<StatsCell>,
+    /// Structured-trace handle shared the same way; disabled by default.
+    tracer: Tracer,
 }
 
 /// Shared mutable counters behind [`EvalStats`]; `Cell` keeps the hot
@@ -460,9 +463,33 @@ pub fn run_direct(e: &Expr) -> Result<DValue, RuntimeError> {
 ///
 /// Same as [`run_direct`].
 pub fn run_direct_profiled(e: &Expr) -> Result<(DValue, EvalStats), RuntimeError> {
-    let env = DEnv::default();
+    run_direct_traced(e, Tracer::disabled())
+}
+
+/// [`run_direct_profiled`] with a [`Tracer`]: when the tracer is enabled,
+/// the run emits the same model-resolution event vocabulary as the
+/// typechecker (`model_resolve` spans with `candidate` /
+/// `candidate_rejected` / `model_selected` instants, `instantiate` and
+/// `dict_build` spans), letting tooling diff decision sequences across the
+/// two evaluation lanes.
+///
+/// # Errors
+///
+/// Same as [`run_direct`].
+pub fn run_direct_traced(e: &Expr, tracer: Tracer) -> Result<(DValue, EvalStats), RuntimeError> {
+    let env = DEnv {
+        tracer,
+        ..DEnv::default()
+    };
     let v = eval(e, &env)?;
     Ok((v, env.stats.snapshot()))
+}
+
+/// Renders type arguments for trace attributes exactly as the checker does
+/// (`<int, list t>`), so cross-lane event sequences compare textually.
+fn render_args(args: &[RTy]) -> String {
+    let parts: Vec<String> = args.iter().map(|a| a.to_string()).collect();
+    format!("<{}>", parts.join(", "))
 }
 
 /// Resolves a surface type to a *closed* normalized type under the runtime
@@ -549,7 +576,7 @@ fn normalize_at(ty: &RTy, env: &DEnv, depth: usize) -> RTy {
                 .iter()
                 .map(|a| normalize_at(a, env, depth + 1))
                 .collect();
-            if let Some(model) = find_model(env, *concept, &nargs) {
+            if let Some(model) = find_model(env, *concept, &nargs, "normalize") {
                 if let Some((_, t)) = model.assoc.iter().find(|(n, _)| n == name) {
                     return normalize_at(t, env, depth + 1);
                 }
@@ -567,9 +594,15 @@ fn normalize_at(ty: &RTy, env: &DEnv, depth: usize) -> RTy {
 /// Newest-first model lookup with structural equality on normalized types.
 /// Parameterized templates are matched against the arguments and
 /// instantiated on the spot (evaluating their member bodies), so a `Some`
-/// result is always a ready model.
-fn find_model(env: &DEnv, cid: ConceptId, args: &[RTy]) -> Option<Rc<RtModel>> {
-    find_model_at(env, cid, args, 0)
+/// result is always a ready model. `site` tags the emitted trace events
+/// with the reason for the lookup, mirroring the checker's vocabulary.
+fn find_model(
+    env: &DEnv,
+    cid: ConceptId,
+    args: &[RTy],
+    site: &'static str,
+) -> Option<Rc<RtModel>> {
+    find_model_at(env, cid, args, 0, site)
 }
 
 fn find_model_at(
@@ -577,6 +610,7 @@ fn find_model_at(
     cid: ConceptId,
     args: &[RTy],
     depth: usize,
+    site: &'static str,
 ) -> Option<Rc<RtModel>> {
     inc(&env.stats.model_lookups);
     let scope_depth = env.models.len() as u64;
@@ -585,15 +619,60 @@ fn find_model_at(
     }
     if depth > 32 {
         inc(&env.stats.model_misses);
+        env.tracer.instant_with("lookup_depth_limit", || {
+            vec![("concept", env.table.borrow().name(cid).to_string().into())]
+        });
         return None;
     }
-    let out = find_model_scan(env, cid, args, depth);
+    let sp = env.tracer.begin_with("model_resolve", || {
+        vec![
+            ("concept", env.table.borrow().name(cid).to_string().into()),
+            ("args", render_args(args).into()),
+            ("site", site.into()),
+            ("scope_depth", env.models.len().into()),
+        ]
+    });
+    let out = find_model_scan(env, cid, args, depth, site);
     inc(if out.is_some() {
         &env.stats.model_hits
     } else {
         &env.stats.model_misses
     });
+    env.tracer.end_with(
+        sp,
+        vec![(
+            "outcome",
+            if out.is_some() { "hit" } else { "miss" }.into(),
+        )],
+    );
     out
+}
+
+/// Emits the `model_selected` trace event: scope entry `index` won the
+/// lookup for `C<args>` performed at `site`.
+fn trace_selected(
+    env: &DEnv,
+    cid: ConceptId,
+    args: &[RTy],
+    head: &[RTy],
+    site: &'static str,
+    index: usize,
+    parameterized: bool,
+) {
+    if !env.tracer.is_enabled() {
+        return;
+    }
+    env.tracer.instant(
+        "model_selected",
+        vec![
+            ("concept", env.table.borrow().name(cid).to_string().into()),
+            ("args", render_args(args).into()),
+            ("head", render_args(head).into()),
+            ("site", site.into()),
+            ("index", index.into()),
+            ("parameterized", u64::from(parameterized).into()),
+        ],
+    );
 }
 
 fn find_model_scan(
@@ -601,19 +680,44 @@ fn find_model_scan(
     cid: ConceptId,
     args: &[RTy],
     depth: usize,
+    site: &'static str,
 ) -> Option<Rc<RtModel>> {
-    for entry in env.models.iter().rev() {
+    let reject = |i: usize, reason: &'static str| {
+        env.tracer.instant_with("candidate_rejected", || {
+            vec![("index", i.into()), ("reason", reason.into())]
+        });
+    };
+    for (i, entry) in env.models.iter().enumerate().rev() {
         inc(&env.stats.candidates_scanned);
         match entry {
             RtEntry::Concrete(m) => {
-                if m.concept == cid && m.args == args {
+                if m.concept != cid || m.args.len() != args.len() {
+                    continue;
+                }
+                env.tracer.instant_with("candidate", || {
+                    vec![
+                        ("index", i.into()),
+                        ("head", render_args(&m.args).into()),
+                        ("parameterized", 0u64.into()),
+                    ]
+                });
+                if m.args == args {
+                    trace_selected(env, cid, args, &m.args, site, i, false);
                     return Some(Rc::clone(m));
                 }
+                reject(i, "args_mismatch");
             }
             RtEntry::Param(pm) => {
                 if pm.concept != cid || pm.pattern.len() != args.len() {
                     continue;
                 }
+                env.tracer.instant_with("candidate", || {
+                    vec![
+                        ("index", i.into()),
+                        ("head", render_args(&pm.pattern).into()),
+                        ("parameterized", 1u64.into()),
+                    ]
+                });
                 let mut sigma = HashMap::new();
                 if !pm
                     .pattern
@@ -621,14 +725,18 @@ fn find_model_scan(
                     .zip(args)
                     .all(|(p, t)| match_rty(p, t, &pm.params, &mut sigma))
                 {
+                    reject(i, "pattern_mismatch");
                     continue;
                 }
                 if !pm.params.iter().all(|p| sigma.contains_key(p)) {
+                    reject(i, "pattern_mismatch");
                     continue;
                 }
                 if let Some(model) = instantiate_param_model(env, pm, &sigma, depth) {
+                    trace_selected(env, cid, args, &pm.pattern, site, i, true);
                     return Some(model);
                 }
+                reject(i, "constraint_unsatisfied");
             }
         }
     }
@@ -711,7 +819,7 @@ fn instantiate_param_model(
                 .map(|a| resolve_closed(a, &env2).ok())
                 .collect::<Option<Vec<_>>>()?;
             let inst: Vec<RTy> = inst.iter().map(|t| normalize(t, use_env)).collect();
-            let model = find_model_at(use_env, cid, &inst, depth + 1)?;
+            let model = find_model_at(use_env, cid, &inst, depth + 1, "constraint")?;
             env2 = env2.push_model_tree(model);
         }
     }
@@ -728,6 +836,32 @@ fn instantiate_param_model(
 /// evaluates member bodies (defaults see the partial model and the
 /// concept's parameters bound to the arguments).
 fn elaborate_model(
+    env: &DEnv,
+    cid: ConceptId,
+    info: &ConceptInfo,
+    args: &[RTy],
+    decl: &crate::ast::ModelDecl,
+) -> Result<Rc<RtModel>, RuntimeError> {
+    let sp = env.tracer.begin_with("dict_build", || {
+        vec![
+            ("concept", env.table.borrow().name(cid).to_string().into()),
+            ("parameterized", u64::from(!decl.params.is_empty()).into()),
+            ("span_start", decl.span.start.into()),
+            ("span_end", decl.span.end.into()),
+        ]
+    });
+    let out = elaborate_model_inner(env, cid, info, args, decl);
+    env.tracer.end_with(
+        sp,
+        vec![(
+            "outcome",
+            if out.is_ok() { "ok" } else { "error" }.into(),
+        )],
+    );
+    out
+}
+
+fn elaborate_model_inner(
     env: &DEnv,
     cid: ConceptId,
     info: &ConceptInfo,
@@ -762,10 +896,16 @@ fn elaborate_model(
             .map(|a| normalize(&subst(a, &s), env))
             .collect();
         let name = env.table.borrow().name(*rc);
-        let child = find_model(env, *rc, &inst).ok_or(RuntimeError::NoModel(name))?;
+        let child = find_model(env, *rc, &inst, "model_decl").ok_or(RuntimeError::NoModel(name))?;
         children.push(child);
     }
     inc(&env.stats.dicts_built);
+    env.tracer.instant_with("dict_assembled", || {
+        vec![
+            ("children", children.len().into()),
+            ("members", info.members.len().into()),
+        ]
+    });
     let model = Rc::new(RtModel {
         concept: cid,
         args,
@@ -858,6 +998,13 @@ fn eval(e: &Expr, env: &DEnv) -> Result<DValue, RuntimeError> {
                         .iter()
                         .map(|a| resolve_closed(a, env))
                         .collect::<Result<Vec<_>, _>>()?;
+                    let sp = env.tracer.begin_with("instantiate", || {
+                        vec![
+                            ("args", render_args(&closed).into()),
+                            ("span_start", e.span.start.into()),
+                            ("span_end", e.span.end.into()),
+                        ]
+                    });
                     let mut body_env = closure_env.clone();
                     for (v, t) in vars.iter().zip(&closed) {
                         body_env = body_env.bind_ty(*v, t.clone());
@@ -865,24 +1012,34 @@ fn eval(e: &Expr, env: &DEnv) -> Result<DValue, RuntimeError> {
                     // For each concept constraint, find the model at the
                     // *call site* and pass it (with its refinement tree)
                     // into the body's scope — implicit model passing.
-                    for c in &constraints {
-                        if let Constraint::Model { concept, args } = c {
-                            let cid = body_env
-                                .lookup_concept(*concept)
-                                .ok_or(RuntimeError::UnknownConcept(*concept))?;
-                            let inst: Vec<RTy> = args
-                                .iter()
-                                .map(|a| resolve_closed(a, &body_env))
-                                .collect::<Result<Vec<_>, _>>()?;
-                            // Normalize against the call-site models too.
-                            let inst: Vec<RTy> =
-                                inst.iter().map(|t| normalize(t, env)).collect();
-                            let model = find_model(env, cid, &inst)
-                                .ok_or(RuntimeError::NoModel(*concept))?;
-                            body_env = body_env.push_model_tree(model);
+                    let out = (|| {
+                        for c in &constraints {
+                            if let Constraint::Model { concept, args } = c {
+                                let cid = body_env
+                                    .lookup_concept(*concept)
+                                    .ok_or(RuntimeError::UnknownConcept(*concept))?;
+                                let inst: Vec<RTy> = args
+                                    .iter()
+                                    .map(|a| resolve_closed(a, &body_env))
+                                    .collect::<Result<Vec<_>, _>>()?;
+                                // Normalize against the call-site models too.
+                                let inst: Vec<RTy> =
+                                    inst.iter().map(|t| normalize(t, env)).collect();
+                                let model = find_model(env, cid, &inst, "instantiate")
+                                    .ok_or(RuntimeError::NoModel(*concept))?;
+                                body_env = body_env.push_model_tree(model);
+                            }
                         }
-                    }
-                    eval(&body, &body_env)
+                        eval(&body, &body_env)
+                    })();
+                    env.tracer.end_with(
+                        sp,
+                        vec![(
+                            "outcome",
+                            if out.is_ok() { "ok" } else { "error" }.into(),
+                        )],
+                    );
+                    out
                 }
                 DValue::Prim(Prim::Nil) => Ok(DValue::List(DList::nil())),
                 DValue::Prim(p) => Ok(DValue::Prim(p)),
@@ -1025,7 +1182,8 @@ fn eval(e: &Expr, env: &DEnv) -> Result<DValue, RuntimeError> {
                 .iter()
                 .map(|a| resolve_closed(a, env))
                 .collect::<Result<Vec<_>, _>>()?;
-            let model = find_model(env, cid, &rargs).ok_or(RuntimeError::NoModel(*concept))?;
+            let model =
+                find_model(env, cid, &rargs, "member").ok_or(RuntimeError::NoModel(*concept))?;
             let table = env.table.borrow();
             find_member_value(&table, &model, *member).ok_or(RuntimeError::UnknownMember(*member))
         }

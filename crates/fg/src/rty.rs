@@ -422,17 +422,85 @@ mod tests {
         let mut map = HashMap::new();
         map.insert(s("b"), v("a"));
         let r = subst(&t, &map);
-        if let RTy::Forall { vars, body, .. } = &r {
-            assert_ne!(vars[0], s("a"), "binder should have been renamed");
-            if let RTy::Fn(ps, ret) = &**body {
-                assert_eq!(ps[0], RTy::Var(vars[0]));
-                assert_eq!(**ret, v("a"));
-            } else {
-                panic!("bad body: {body:?}");
-            }
-        } else {
-            panic!("bad result: {r:?}");
+        // Substitution preserves the head constructor, so destructure with
+        // let-else instead of panicking match arms.
+        let RTy::Forall { vars, body, .. } = &r else {
+            unreachable!("substitution must keep the forall shape, got {r:?}");
+        };
+        assert_ne!(vars[0], s("a"), "binder should have been renamed");
+        let RTy::Fn(ps, ret) = &**body else {
+            unreachable!("substitution must keep the body a function type, got {body:?}");
+        };
+        assert_eq!(ps[0], RTy::Var(vars[0]));
+        assert_eq!(**ret, v("a"));
+    }
+
+    #[test]
+    fn subst_preserves_head_constructors() {
+        // Negative space of the capture test: substitution never changes
+        // what kind of type it was given, even when renaming binders.
+        let mut map = HashMap::new();
+        map.insert(s("b"), v("a"));
+        let cases = [
+            RTy::Int,
+            RTy::Bool,
+            v("b"),
+            RTy::list(v("b")),
+            RTy::func(vec![v("b")], v("b")),
+            assoc(vec![v("b")]),
+            RTy::Forall {
+                vars: vec![s("a")],
+                constraints: vec![],
+                body: Box::new(v("b")),
+            },
+        ];
+        for t in &cases {
+            let r = subst(t, &map);
+            assert_eq!(
+                std::mem::discriminant(t),
+                std::mem::discriminant(&r),
+                "subst changed the shape of {t} into {r}"
+            );
         }
+    }
+
+    #[test]
+    fn subst_renamed_binder_is_not_free_and_capture_is_impossible() {
+        // After capture-avoiding renaming, the fresh binder must not leak
+        // into the free variables, and the substituted `a` must stay free
+        // (it would have been captured by a naive substitution).
+        let t = RTy::Forall {
+            vars: vec![s("a")],
+            constraints: vec![RConstraint::SameTy(v("a"), v("b"))],
+            body: Box::new(RTy::func(vec![v("a")], v("b"))),
+        };
+        let mut map = HashMap::new();
+        map.insert(s("b"), v("a"));
+        let r = subst(&t, &map);
+        let free = r.free_vars();
+        assert_eq!(free, vec![s("a")], "free vars after subst: {free:?} in {r}");
+        let RTy::Forall { vars, .. } = &r else {
+            unreachable!("substitution must keep the forall shape, got {r:?}");
+        };
+        assert!(!free.contains(&vars[0]), "renamed binder escaped: {r}");
+    }
+
+    #[test]
+    fn subst_leaves_unrelated_binders_alone() {
+        // When no capture threatens, the binder keeps its name.
+        let t = RTy::Forall {
+            vars: vec![s("a")],
+            constraints: vec![],
+            body: Box::new(RTy::func(vec![v("a")], v("b"))),
+        };
+        let mut map = HashMap::new();
+        map.insert(s("b"), RTy::Int);
+        let r = subst(&t, &map);
+        let RTy::Forall { vars, body, .. } = &r else {
+            unreachable!("substitution must keep the forall shape, got {r:?}");
+        };
+        assert_eq!(vars[0], s("a"));
+        assert_eq!(**body, RTy::func(vec![v("a")], RTy::Int));
     }
 
     #[test]

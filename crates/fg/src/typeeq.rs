@@ -27,6 +27,7 @@ use std::collections::HashMap;
 
 use congruence::{Congruence, Op, TermId};
 use system_f::Symbol;
+use telemetry::trace::Tracer;
 
 use crate::rty::{ConceptId, RConstraint, RTy};
 
@@ -61,6 +62,14 @@ pub struct TypeEq {
     /// Query counters, plus counts absorbed from discarded scope clones
     /// (see [`TypeEq::absorb_scope`]).
     carried: TypeEqStats,
+    /// Every equality asserted into this instance, in order. Scope clones
+    /// carry their ancestors' assertions, so the log always lists exactly
+    /// the equations in force — the raw material for [`TypeEq::explain`].
+    asserted: Vec<(RTy, RTy)>,
+    /// Trace sink for union/assertion events (disabled by default; the
+    /// handle is shared, so scope clones keep reporting to the same
+    /// collector).
+    tracer: Tracer,
 }
 
 /// Aggregated equality-engine statistics: query counters of this instance
@@ -151,12 +160,56 @@ impl TypeEq {
         self.carried.term_bank_peak = self.carried.term_bank_peak.max(delta.term_bank_peak);
     }
 
+    /// Attaches a trace sink: every assertion and every congruence-class
+    /// union (with its representative and asserted/propagated cause) is
+    /// reported to it. Scope clones share the sink.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.cc.set_union_logging(tracer.is_enabled());
+        self.tracer = tracer;
+    }
+
+    /// Reports the congruence unions accumulated since the last flush as
+    /// `cc_union` trace events, decoding each side and the class
+    /// representative back to a type.
+    fn flush_unions(&mut self) {
+        if !self.tracer.is_enabled() {
+            return;
+        }
+        for step in self.cc.drain_union_log() {
+            let render = |te: &TypeEq, t: TermId| {
+                te.decoded
+                    .get(t.index())
+                    .map(|ty| ty.to_string())
+                    .unwrap_or_else(|| t.to_string())
+            };
+            let (lhs, rhs, repr) = (
+                render(self, step.a),
+                render(self, step.b),
+                render(self, self.cc.find_no_compress(step.repr)),
+            );
+            self.tracer.instant(
+                "cc_union",
+                vec![
+                    ("lhs", lhs.into()),
+                    ("rhs", rhs.into()),
+                    ("repr", repr.into()),
+                    ("cause", step.cause.to_string().into()),
+                ],
+            );
+        }
+    }
+
     /// Asserts `a == b`, closing under congruence.
     pub fn assert_eq(&mut self, a: &RTy, b: &RTy) {
         self.carried.assertions += 1;
+        self.asserted.push((a.clone(), b.clone()));
+        self.tracer.instant_with("assert_eq", || {
+            vec![("lhs", a.to_string().into()), ("rhs", b.to_string().into())]
+        });
         let ta = self.encode(a);
         let tb = self.encode(b);
         self.cc.merge(ta, tb);
+        self.flush_unions();
     }
 
     /// Decides `a == b` under the asserted constraints.
@@ -167,10 +220,58 @@ impl TypeEq {
         }
         let ta = self.encode(a);
         let tb = self.encode(b);
-        if self.cc.eq(ta, tb) {
-            return true;
+        let out = if self.cc.eq(ta, tb) {
+            true
+        } else {
+            self.structural_eq(a, b, 0)
+        };
+        // Encoding fresh terms can itself union classes (hash-consing
+        // congruence); attribute those to this query.
+        self.flush_unions();
+        out
+    }
+
+    /// Extracts a proof chain for `a == b`: a subset of the asserted
+    /// equalities that (under congruence closure) already implies it, in
+    /// assertion order. Returns `None` when the types are *not* equal, and
+    /// an empty chain when the equality is syntactic/structural and needs
+    /// no assertions.
+    ///
+    /// The chain is minimized greedily — dropping any single remaining
+    /// assertion breaks the proof — and is validated by construction:
+    /// every candidate subset is checked by replaying it into a fresh
+    /// engine.
+    pub fn explain(&mut self, a: &RTy, b: &RTy) -> Option<Vec<(RTy, RTy)>> {
+        if !self.eq(a, b) {
+            return None;
         }
-        self.structural_eq(a, b, 0)
+        let holds = |subset: &[(RTy, RTy)]| -> bool {
+            let mut fresh = TypeEq::new();
+            for name in &self.banned {
+                fresh.ban_representative(*name);
+            }
+            for (x, y) in subset {
+                fresh.assert_eq(x, y);
+            }
+            fresh.eq(a, b)
+        };
+        let mut kept = self.asserted.clone();
+        if !holds(&kept) {
+            // The equality holds without any assertions (syntactic or
+            // structural alpha-equivalence).
+            return Some(Vec::new());
+        }
+        let mut i = 0;
+        while i < kept.len() {
+            let mut trial = kept.clone();
+            trial.remove(i);
+            if holds(&trial) {
+                kept = trial;
+            } else {
+                i += 1;
+            }
+        }
+        Some(kept)
     }
 
     /// Structural comparison that recurses through [`TypeEq::eq`] at every
@@ -714,6 +815,98 @@ mod tests {
         assert!(te.eq(&v("t"), &RTy::list(v("t"))));
         // resolve must not hang.
         let _ = te.resolve(&v("t"));
+    }
+
+    #[test]
+    fn explain_returns_none_for_unequal_types() {
+        let mut te = TypeEq::new();
+        te.assert_eq(&v("t"), &RTy::Int);
+        assert_eq!(te.explain(&v("t"), &RTy::Bool), None);
+    }
+
+    #[test]
+    fn explain_is_empty_for_syntactic_equality() {
+        let mut te = TypeEq::new();
+        te.assert_eq(&v("t"), &RTy::Int);
+        assert_eq!(te.explain(&RTy::Int, &RTy::Int), Some(Vec::new()));
+    }
+
+    #[test]
+    fn explain_chain_replays_to_a_valid_equality() {
+        // x == Iterator<I>.elt and Iterator<I>.elt == int prove x == int;
+        // an unrelated u == bool assertion must be minimized away, and the
+        // returned chain must replay to the judged equality in a fresh
+        // engine (the validity check).
+        let mut te = TypeEq::new();
+        let proj = assoc(0, vec![v("I")], "elt");
+        te.assert_eq(&v("u"), &RTy::Bool);
+        te.assert_eq(&proj, &RTy::Int);
+        te.assert_eq(&v("x"), &proj);
+        let chain = te.explain(&v("x"), &RTy::Int).expect("equal");
+        assert_eq!(chain.len(), 2);
+        assert!(!chain.iter().any(|(l, _)| *l == v("u")));
+        let mut replay = TypeEq::new();
+        for (l, r) in &chain {
+            replay.assert_eq(l, r);
+        }
+        assert!(replay.eq(&v("x"), &RTy::Int));
+        // Minimality: dropping any single step breaks the replay.
+        for skip in 0..chain.len() {
+            let mut partial = TypeEq::new();
+            for (i, (l, r)) in chain.iter().enumerate() {
+                if i != skip {
+                    partial.assert_eq(l, r);
+                }
+            }
+            assert!(!partial.eq(&v("x"), &RTy::Int), "step {skip} was redundant");
+        }
+    }
+
+    #[test]
+    fn explain_covers_congruence_propagation() {
+        // list t == list u follows from t == u purely by congruence: the
+        // chain is the single asserted equation, and replaying it makes
+        // the *derived* equality hold.
+        let mut te = TypeEq::new();
+        te.assert_eq(&v("t"), &v("u"));
+        let (lt, lu) = (RTy::list(v("t")), RTy::list(v("u")));
+        let chain = te.explain(&lt, &lu).expect("equal");
+        assert_eq!(chain, vec![(v("t"), v("u"))]);
+        let mut replay = TypeEq::new();
+        for (l, r) in &chain {
+            replay.assert_eq(l, r);
+        }
+        assert!(replay.eq(&lt, &lu));
+    }
+
+    #[test]
+    fn tracer_records_assertions_and_unions_with_causes() {
+        use telemetry::trace::{AttrValue, Event};
+        let tracer = Tracer::enabled();
+        let mut te = TypeEq::new();
+        te.set_tracer(tracer.clone());
+        te.assert_eq(&v("t"), &v("u"));
+        // Creating list(t)/list(u) during a query unions them by
+        // congruence; the event must be tagged as such.
+        assert!(te.eq(&RTy::list(v("t")), &RTy::list(v("u"))));
+        let events = tracer.events();
+        let names: Vec<&str> = events.iter().map(Event::name).collect();
+        assert!(names.contains(&"assert_eq"), "{names:?}");
+        let unions: Vec<&Event> = events.iter().filter(|e| e.name() == "cc_union").collect();
+        assert!(unions.len() >= 2, "{events:?}");
+        let cause = |e: &Event| e.attr("cause").and_then(AttrValue::as_str).map(str::to_owned);
+        assert_eq!(cause(unions[0]).as_deref(), Some("asserted"));
+        assert!(
+            unions.iter().any(|e| cause(e).as_deref() == Some("congruence")),
+            "{events:?}"
+        );
+        // Representatives decode back to real types.
+        assert!(unions.iter().all(|e| e.attr("repr").is_some()));
+        // Scope clones keep reporting to the same collector.
+        let before = tracer.events().len();
+        let mut scoped = te.clone();
+        scoped.assert_eq(&v("p"), &v("q"));
+        assert!(tracer.events().len() > before);
     }
 
     #[test]

@@ -49,6 +49,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod trace;
+
 use std::fmt::Write as _;
 use std::time::Instant;
 
