@@ -3,7 +3,9 @@
 # Usage: ./ci.sh
 set -eux
 
-cargo build --release --offline
+# --workspace: the root manifest is also a package, so a bare build would
+# skip fg-cli and the gates below would run a stale `fg` binary.
+cargo build --release --workspace --offline
 cargo test -q --offline
 cargo test -q --workspace --offline
 cargo clippy --workspace --all-targets --offline -- -D warnings
@@ -33,3 +35,40 @@ PYEOF
     "$FG" explain "$f" > /dev/null
 done
 rm -f /tmp/fg-ci-trace.jsonl
+
+# Robustness gate: every adversarial program must die as a structured
+# diagnostic (exit 1) under the default caps — not a crash (3), not a
+# success (0), not a hang. `run` (not `check`) so runtime bombs count.
+for f in examples/adversarial/*.fg; do
+    code=0
+    timeout 60 "$FG" run "$f" > /dev/null 2>&1 || code=$?
+    [ "$code" -eq 1 ] || { echo "FAIL: $f exited $code (want 1)"; exit 1; }
+done
+
+# Fixed-seed no-panic fuzz smoke: 1000 generated programs through the
+# governed pipeline, asserting zero panics and bounded wall-clock.
+cargo test -q -p fg --test fuzz_pipeline --offline
+
+# Fault injection is contained: error mode surfaces as a diagnostic
+# (exit 1), panic mode as a caught internal error (exit 3).
+code=0
+"$FG" check --inject-fault check.expr examples/fig5_accumulate.fg > /dev/null 2>&1 || code=$?
+[ "$code" -eq 1 ] || { echo "FAIL: injected error exited $code (want 1)"; exit 1; }
+code=0
+"$FG" check --inject-fault check.expr:panic examples/fig5_accumulate.fg > /dev/null 2>&1 || code=$?
+[ "$code" -eq 3 ] || { echo "FAIL: injected panic exited $code (want 3)"; exit 1; }
+
+# Grep gate: no panic!/unwrap() in the parser hot paths — both parsers
+# must stay panic-free outside their #[cfg(test)] modules. The one
+# sanctioned panic is the "injected fault" hook (panic-mode injection
+# exists precisely to prove the isolation layer catches it).
+for p in crates/fg/src/parser.rs crates/system-f/src/parser.rs; do
+    awk '/#\[cfg\(test\)\]/{exit}
+         /^[[:space:]]*\/\//{next}
+         /injected fault/{next}
+         /\.unwrap\(\)|panic!/{print FILENAME ":" NR ": " $0; bad=1}
+         END{exit bad}' "$p" \
+        || { echo "FAIL: panic site in $p hot path"; exit 1; }
+done
+
+echo "ci.sh: all gates passed"

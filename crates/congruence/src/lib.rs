@@ -53,6 +53,9 @@ pub use union_find::UnionFind;
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
+
+use telemetry::limits::Budget;
 
 /// An uninterpreted function symbol (or constant, when applied to zero
 /// arguments).
@@ -183,6 +186,10 @@ pub struct Congruence {
     /// When `true`, every class union is appended to `union_log`.
     log_unions: bool,
     union_log: Vec<UnionStep>,
+    /// Shared resource budget, if attached. Charges are *sticky*: the
+    /// congruence APIs stay infallible, and the budget latches the first
+    /// exhaustion for a fallible caller to poll (see `telemetry::limits`).
+    budget: Option<Arc<Budget>>,
 }
 
 /// Running operation counts for one [`Congruence`] instance.
@@ -243,6 +250,14 @@ impl Congruence {
         }
     }
 
+    /// Attaches a shared resource budget. Every *new* hash-consed term
+    /// charges one cc-term; every class union charges one fuel unit.
+    /// Clones share the same budget (scoped checker clones keep charging
+    /// the pipeline-wide allowance).
+    pub fn set_budget(&mut self, budget: Arc<Budget>) {
+        self.budget = Some(budget);
+    }
+
     /// Creates (or retrieves) the constant term `op`.
     ///
     /// Equivalent to `self.term(op, &[])`.
@@ -271,6 +286,11 @@ impl Congruence {
         };
         if let Some(&id) = self.hashcons.get(&node) {
             return id;
+        }
+        if let Some(b) = &self.budget {
+            // Sticky charge: term creation stays infallible, the checker
+            // polls the budget between expression nodes.
+            let _ = b.charge_cc_term();
         }
         let id = TermId::from_index(self.nodes.len());
         self.nodes.push(node.clone());
@@ -336,6 +356,9 @@ impl Congruence {
                 continue;
             }
             self.stats.unions += 1;
+            if let Some(b) = &self.budget {
+                let _ = b.charge_fuel(1);
+            }
             // Union by use-list size: move the smaller list.
             let (small, big) = if self.use_list[rx.index()].len() <= self.use_list[ry.index()].len()
             {
@@ -712,5 +735,40 @@ mod tests {
         let scoped_delta = scoped.stats().delta_since(&snap);
         assert_eq!(scoped_delta.merges, 1);
         assert_eq!(cc.stats().delta_since(&snap).merges, 0);
+    }
+
+    #[test]
+    fn budget_latches_cc_term_and_fuel_charges() {
+        use std::sync::Arc;
+        use telemetry::limits::{Limits, Resource};
+
+        let budget = Arc::new(Budget::new(Limits {
+            max_cc_terms: Some(3),
+            ..Limits::UNLIMITED
+        }));
+        let mut cc = Congruence::new();
+        cc.set_budget(Arc::clone(&budget));
+        let a = cc.constant(Op(0));
+        let b = cc.constant(Op(1));
+        let c = cc.constant(Op(2));
+        assert!(budget.ok().is_ok());
+        // Hash-cons hits are free: no new node, no charge.
+        assert_eq!(cc.constant(Op(2)), c);
+        assert!(budget.ok().is_ok());
+        // Unions charge fuel against the shared budget.
+        cc.merge(a, b);
+        assert!(budget.fuel_spent() >= 1);
+        // The fourth distinct term trips the cap, but term creation
+        // itself stays infallible and consistent.
+        let d = cc.constant(Op(3));
+        assert_eq!(budget.ok().unwrap_err().resource, Resource::CcTerms);
+        cc.merge(c, d);
+        assert!(cc.eq(a, b));
+        assert!(cc.eq(c, d));
+        // Clones share the (already exhausted, hence frozen) budget:
+        // new work in the clone still observes the latched record.
+        let mut scoped = cc.clone();
+        scoped.constant(Op(9));
+        assert_eq!(budget.ok().unwrap_err().resource, Resource::CcTerms);
     }
 }

@@ -1,17 +1,43 @@
 //! `fg` — the command-line driver for the F_G language.
 //!
 //! ```text
-//! fg check <file.fg>       typecheck, print the program's F_G type
-//! fg translate <file.fg>   print the System F translation
-//! fg run <file.fg>         translate and evaluate on the System F machine
-//! fg direct <file.fg>      evaluate with the direct interpreter
-//! fg explain <file.fg>     explain model resolution and type equalities
-//! fg ast <file.fg>         print the parsed AST (debug form)
+//! fg check <file.fg>...     typecheck, print the program's F_G type
+//! fg translate <file.fg>... print the System F translation
+//! fg run <file.fg>...       translate and evaluate on the System F machine
+//! fg direct <file.fg>...    evaluate with the direct interpreter
+//! fg explain <file.fg>...   explain model resolution and type equalities
+//! fg ast <file.fg>...       print the parsed AST (debug form)
 //! ```
 //!
 //! Pass `-` as the file to read from stdin, or `--prelude` before the
 //! subcommand to wrap the program in the STL-flavoured prelude of
-//! `fg::stdlib`.
+//! `fg::stdlib`. Several files may be given; they are processed in order
+//! and the worst outcome determines the exit code.
+//!
+//! # Exit codes
+//!
+//! | code | meaning |
+//! |---|---|
+//! | 0 | success |
+//! | 1 | diagnostic: the program was rejected or failed at runtime |
+//! | 2 | usage error |
+//! | 3 | internal crash, caught and isolated (a bug in `fg`, not in the program) |
+//!
+//! # Resource limits
+//!
+//! Every stage of the pipeline runs under a resource budget
+//! (`fg::limits`): `--fuel N` caps total work, `--max-depth N` caps
+//! recursion, `--max-terms N` caps congruence nodes, `--max-dict-nodes N`
+//! caps dictionary-plan nodes, and `--timeout-ms N` sets a wall-clock
+//! deadline. `0` or `none` lifts a cap. The environment variables
+//! `FG_FUEL`, `FG_MAX_DEPTH`, `FG_MAX_TERMS`, `FG_MAX_DICT_NODES`, and
+//! `FG_TIMEOUT_MS` are read first; flags win. Exhaustion is a structured
+//! diagnostic (exit 1), never an abort.
+//!
+//! `--inject-fault <point[@N][:panic]>` (or `FG_FAULT=`) arms the
+//! deterministic fault-injection points (`parse`, `check.expr`,
+//! `check.resolve_model`, `check.where_enter`, `interp.eval`, `sf.eval`,
+//! `vm.run`) for robustness testing; see the `telemetry` crate.
 //!
 //! # Telemetry
 //!
@@ -20,7 +46,9 @@
 //! `fg-metrics/1` JSON document (`-` for stdout). Both flags may appear
 //! anywhere before the file argument and work with every subcommand that
 //! runs the pipeline (`check`, `translate`, `elaborate`, `run`, `direct`,
-//! `vm`, `bytecode`). See the `telemetry` crate for the schema and
+//! `vm`, `bytecode`). Telemetry is emitted on error paths too, including
+//! the `limits.*` counter group and a `budget_exhausted` trace instant
+//! when a budget tripped. See the `telemetry` crate for the schema and
 //! DESIGN.md for the counter glossary.
 //!
 //! `--trace <path>` writes an `fg-trace/1` JSONL record of the run's
@@ -32,17 +60,33 @@
 
 use std::io::Read;
 use std::process::ExitCode;
+use std::sync::Arc;
 
+use telemetry::limits::{Budget, Limits};
 use telemetry::trace::Tracer;
 use telemetry::Metrics;
 
 mod explain;
 mod repl;
 
-fn usage() -> ExitCode {
+/// Exit code: the program was rejected or failed at runtime.
+const EXIT_DIAGNOSTIC: u8 = 1;
+/// Exit code: the command line was malformed.
+const EXIT_USAGE: u8 = 2;
+/// Exit code: the pipeline itself crashed (caught panic).
+const EXIT_CRASH: u8 = 3;
+
+/// Stack size for per-file worker threads: the checker and evaluator
+/// recurse, and the budget's depth cap (not the OS stack) should be what
+/// bounds them.
+const WORKER_STACK: usize = 256 * 1024 * 1024;
+
+fn usage() -> u8 {
     eprintln!(
-        "usage: fg [--prelude] [--profile] [--metrics-json <path>] [--trace <path>] [--trace-chrome <path>] \
-         <check|translate|run|direct|elaborate|explain|vm|bytecode|fmt|ast> <file.fg|->  |  fg [--prelude] repl\n\
+        "usage: fg [--prelude] [--profile] [--metrics-json <path>] [--trace <path>] [--trace-chrome <path>]\n\
+         \x20         [--fuel <n>] [--max-depth <n>] [--max-terms <n>] [--max-dict-nodes <n>] [--timeout-ms <n>]\n\
+         \x20         [--inject-fault <spec>]\n\
+         \x20         <check|translate|run|direct|elaborate|explain|vm|bytecode|fmt|ast> <file.fg|->...  |  fg [--prelude] repl\n\
          \n\
          check      typecheck and print the F_G type\n\
          translate  print the dictionary-passing System F translation\n\
@@ -60,12 +104,22 @@ fn usage() -> ExitCode {
          --profile             print phase timings and counters to stderr\n\
          --metrics-json <path> write an fg-metrics/1 JSON report (- for stdout)\n\
          --trace <path>        write an fg-trace/1 JSONL trace (- for stdout)\n\
-         --trace-chrome <path> write a Chrome trace-event JSON trace (- for stdout)"
+         --trace-chrome <path> write a Chrome trace-event JSON trace (- for stdout)\n\
+         --fuel <n>            total work budget (0 or none = unlimited)\n\
+         --max-depth <n>       recursion-depth budget\n\
+         --max-terms <n>       congruence-node budget\n\
+         --max-dict-nodes <n>  dictionary-plan-node budget\n\
+         --timeout-ms <n>      wall-clock deadline in milliseconds\n\
+         --inject-fault <spec> arm fault points: point[@N][:panic], comma-separated"
     );
-    ExitCode::from(2)
+    EXIT_USAGE
 }
 
 /// Flags accepted in any order before the positional arguments.
+///
+/// The limit fields are three-valued: `None` = flag absent (defaults and
+/// environment apply), `Some(None)` = cap explicitly lifted,
+/// `Some(Some(n))` = cap explicitly set.
 #[derive(Default)]
 struct Flags {
     use_prelude: bool,
@@ -73,13 +127,57 @@ struct Flags {
     metrics_json: Option<String>,
     trace: Option<String>,
     trace_chrome: Option<String>,
+    fuel: Option<Option<u64>>,
+    max_depth: Option<Option<u64>>,
+    max_terms: Option<Option<u64>>,
+    max_dict_nodes: Option<Option<u64>>,
+    timeout_ms: Option<Option<u64>>,
+    inject_fault: Option<String>,
 }
 
-fn parse_flags(args: &mut Vec<String>) -> Result<Flags, ExitCode> {
+impl Flags {
+    /// The effective limits: CLI default caps, then environment
+    /// variables, then explicit flags (strongest).
+    fn limits(&self) -> Limits {
+        let mut l = Limits::DEFAULT_CAPS.with_env();
+        for (flag, slot) in [
+            (&self.fuel, &mut l.fuel),
+            (&self.max_depth, &mut l.max_depth),
+            (&self.max_terms, &mut l.max_cc_terms),
+            (&self.max_dict_nodes, &mut l.max_dict_nodes),
+            (&self.timeout_ms, &mut l.timeout_ms),
+        ] {
+            if let Some(v) = flag {
+                *slot = *v;
+            }
+        }
+        l
+    }
+}
+
+/// Parses a limit value: `0`, `none`, and `unlimited` lift the cap.
+fn parse_limit(v: &str) -> Result<Option<u64>, ()> {
+    let v = v.trim();
+    if v.eq_ignore_ascii_case("none") || v.eq_ignore_ascii_case("unlimited") || v == "0" {
+        return Ok(None);
+    }
+    v.parse::<u64>().map(Some).map_err(|_| ())
+}
+
+fn parse_flags(args: &mut Vec<String>) -> Result<Flags, u8> {
     let mut flags = Flags::default();
     let mut i = 0;
     while i < args.len() {
-        match args[i].as_str() {
+        let arg = args[i].clone();
+        let take_value = |args: &mut Vec<String>| -> Result<String, u8> {
+            if i + 1 >= args.len() {
+                eprintln!("fg: {arg} needs an argument");
+                return Err(usage());
+            }
+            args.remove(i);
+            Ok(args.remove(i))
+        };
+        match arg.as_str() {
             "--prelude" => {
                 flags.use_prelude = true;
                 args.remove(i);
@@ -88,29 +186,23 @@ fn parse_flags(args: &mut Vec<String>) -> Result<Flags, ExitCode> {
                 flags.profile = true;
                 args.remove(i);
             }
-            "--metrics-json" => {
-                if i + 1 >= args.len() {
-                    eprintln!("fg: --metrics-json needs a path argument");
+            "--metrics-json" => flags.metrics_json = Some(take_value(args)?),
+            "--trace" => flags.trace = Some(take_value(args)?),
+            "--trace-chrome" => flags.trace_chrome = Some(take_value(args)?),
+            "--inject-fault" => flags.inject_fault = Some(take_value(args)?),
+            "--fuel" | "--max-depth" | "--max-terms" | "--max-dict-nodes" | "--timeout-ms" => {
+                let raw = take_value(args)?;
+                let Ok(v) = parse_limit(&raw) else {
+                    eprintln!("fg: {arg}: `{raw}` is not a number, `0`, or `none`");
                     return Err(usage());
+                };
+                match arg.as_str() {
+                    "--fuel" => flags.fuel = Some(v),
+                    "--max-depth" => flags.max_depth = Some(v),
+                    "--max-terms" => flags.max_terms = Some(v),
+                    "--max-dict-nodes" => flags.max_dict_nodes = Some(v),
+                    _ => flags.timeout_ms = Some(v),
                 }
-                args.remove(i);
-                flags.metrics_json = Some(args.remove(i));
-            }
-            "--trace" => {
-                if i + 1 >= args.len() {
-                    eprintln!("fg: --trace needs a path argument");
-                    return Err(usage());
-                }
-                args.remove(i);
-                flags.trace = Some(args.remove(i));
-            }
-            "--trace-chrome" => {
-                if i + 1 >= args.len() {
-                    eprintln!("fg: --trace-chrome needs a path argument");
-                    return Err(usage());
-                }
-                args.remove(i);
-                flags.trace_chrome = Some(args.remove(i));
             }
             _ => i += 1,
         }
@@ -119,34 +211,99 @@ fn parse_flags(args: &mut Vec<String>) -> Result<Flags, ExitCode> {
 }
 
 fn main() -> ExitCode {
+    ExitCode::from(real_main())
+}
+
+fn real_main() -> u8 {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let flags = match parse_flags(&mut args) {
         Ok(f) => f,
         Err(code) => return code,
     };
+    // Arm fault injection (flag wins over FG_FAULT) before any pipeline
+    // work runs.
+    let fault_spec = flags
+        .inject_fault
+        .clone()
+        .or_else(|| std::env::var("FG_FAULT").ok());
+    if let Some(spec) = fault_spec {
+        match telemetry::fault::FaultPlan::parse(&spec) {
+            Ok(plan) => telemetry::fault::install(plan),
+            Err(e) => {
+                eprintln!("fg: bad fault spec `{spec}`: {e}");
+                return usage();
+            }
+        }
+    }
     if args.as_slice() == ["repl"] {
         let stdin = std::io::stdin();
-        return match repl::run_repl(stdin.lock(), std::io::stdout(), flags.use_prelude) {
-            Ok(()) => ExitCode::SUCCESS,
+        return match repl::run_repl(stdin.lock(), std::io::stdout(), flags.use_prelude, flags.limits()) {
+            Ok(()) => 0,
             Err(e) => {
                 eprintln!("fg: io error: {e}");
-                ExitCode::FAILURE
+                EXIT_DIAGNOSTIC
             }
         };
     }
-    let [cmd, path] = args.as_slice() else {
+    let Some((cmd, paths)) = args.split_first() else {
         return usage();
     };
-    if !matches!(
-        cmd.as_str(),
-        "check" | "translate" | "run" | "direct" | "elaborate" | "explain" | "vm" | "bytecode"
-            | "fmt" | "ast"
-    ) {
+    if paths.is_empty()
+        || !matches!(
+            cmd.as_str(),
+            "check" | "translate" | "run" | "direct" | "elaborate" | "explain" | "vm" | "bytecode"
+                | "fmt" | "ast"
+        )
+    {
         return usage();
     }
+    // Batch mode: every file runs in an isolated worker thread, so one
+    // crashing input cannot take down the rest of the batch. The exit
+    // code is the worst outcome seen.
+    let mut worst = 0u8;
+    for path in paths {
+        worst = worst.max(run_file(cmd, path, &flags));
+    }
+    worst
+}
+
+/// Runs one file on a dedicated worker thread, translating a panic into
+/// [`EXIT_CRASH`] instead of aborting the batch.
+fn run_file(cmd: &str, path: &str, flags: &Flags) -> u8 {
+    let outcome = std::thread::scope(|scope| {
+        let handle = std::thread::Builder::new()
+            .name(format!("fg-{cmd}"))
+            .stack_size(WORKER_STACK)
+            .spawn_scoped(scope, || pipeline(cmd, path, flags));
+        match handle {
+            Ok(h) => h.join(),
+            Err(e) => {
+                eprintln!("fg: cannot spawn worker thread: {e}");
+                Ok(EXIT_CRASH)
+            }
+        }
+    });
+    match outcome {
+        Ok(code) => code,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_owned())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "unknown panic".to_owned());
+            eprintln!("fg: internal error: {path}: pipeline crashed: {msg}");
+            EXIT_CRASH
+        }
+    }
+}
+
+/// Parses, checks, and runs one file according to `cmd`, emitting
+/// telemetry on success *and* failure paths.
+fn pipeline(cmd: &str, path: &str, flags: &Flags) -> u8 {
     let mut metrics = Metrics::new();
     metrics.set_command(cmd);
     metrics.set_source(path);
+    let budget = Arc::new(Budget::new(flags.limits()));
     // `explain` always needs the event record; otherwise tracing is on
     // only when an export was requested.
     let tracer = if cmd == "explain" || flags.trace.is_some() || flags.trace_chrome.is_some() {
@@ -159,7 +316,7 @@ fn main() -> ExitCode {
         Ok(s) => s,
         Err(e) => {
             eprintln!("fg: cannot read {path}: {e}");
-            return ExitCode::FAILURE;
+            return EXIT_DIAGNOSTIC;
         }
     };
     let full = if flags.use_prelude {
@@ -168,48 +325,68 @@ fn main() -> ExitCode {
         source
     };
 
-    let sp = tracer.begin("parse", vec![("source", path.as_str().into())]);
-    let parsed = metrics.phase("parse", || fg::parser::parse_expr(&full));
+    let status = stages(cmd, path, &full, &budget, &tracer, &mut metrics);
+    record_limits(&mut metrics, &budget, &tracer);
+    let emitted = finish(flags, metrics, &tracer, cmd, path);
+    match (status, emitted) {
+        (Ok(()), Ok(())) => 0,
+        (Ok(()), Err(code)) | (Err(code), _) => code,
+    }
+}
+
+/// The command pipeline proper: everything from parse to output.
+fn stages(
+    cmd: &str,
+    path: &str,
+    full: &str,
+    budget: &Arc<Budget>,
+    tracer: &Tracer,
+    metrics: &mut Metrics,
+) -> Result<(), u8> {
+    let sp = tracer.begin("parse", vec![("source", path.into())]);
+    let parsed = metrics.phase("parse", || {
+        fg::parser::parse_expr_budgeted(full, budget.clone())
+    });
     tracer.end(sp);
     let expr = match parsed {
         Ok(e) => e,
         Err(e) => {
             eprintln!("fg: parse error: {e}");
-            return ExitCode::FAILURE;
+            return Err(EXIT_DIAGNOSTIC);
         }
     };
 
     if cmd == "ast" {
         println!("{expr:#?}");
-        return finish(flags, metrics, &tracer, cmd, path);
+        return Ok(());
     }
     if cmd == "fmt" {
         print!("{}", fg::format::format_program(&expr));
-        return finish(flags, metrics, &tracer, cmd, path);
+        return Ok(());
     }
-    let sp = tracer.begin("check", vec![("source", path.as_str().into())]);
+    let sp = tracer.begin("check", vec![("source", path.into())]);
     // A large Err variant is fine here: this runs once per invocation.
     #[allow(clippy::result_large_err)]
     let checked = metrics.phase("check_translate", || {
-        fg::check::check_program_traced(&expr, tracer.clone())
+        fg::check::check_program_budgeted(&expr, tracer.clone(), budget.clone())
     });
     tracer.end(sp);
     let compiled = match checked {
         Ok(c) => c,
         Err(e) => {
-            eprintln!("fg: {}", e.render(&full));
-            return ExitCode::FAILURE;
+            eprintln!("fg: {}", e.render(full));
+            return Err(EXIT_DIAGNOSTIC);
         }
     };
-    record_check_stats(&mut metrics, &compiled);
+    record_check_stats(metrics, &compiled);
 
-    let status: Result<(), ExitCode> = match cmd.as_str() {
+    match cmd {
         "check" => {
             println!("{}", compiled.ty);
             Ok(())
         }
         "explain" => {
-            print!("{}", explain::render(&tracer.events(), &full));
+            print!("{}", explain::render(&tracer.events(), full));
             Ok(())
         }
         "elaborate" => {
@@ -219,18 +396,18 @@ fn main() -> ExitCode {
         "direct" => {
             let sp = tracer.begin("direct_eval", Vec::new());
             let out = metrics.phase("direct_eval", || {
-                fg::interp::run_direct_traced(&compiled.elaborated, tracer.clone())
+                fg::interp::run_direct_budgeted(&compiled.elaborated, tracer.clone(), budget.clone())
             });
             tracer.end(sp);
             match out {
                 Ok((v, stats)) => {
-                    record_eval_stats(&mut metrics, &stats);
+                    record_eval_stats(metrics, &stats);
                     println!("{v}");
                     Ok(())
                 }
                 Err(e) => {
                     eprintln!("fg: runtime error: {e}");
-                    Err(ExitCode::FAILURE)
+                    Err(EXIT_DIAGNOSTIC)
                 }
             }
         }
@@ -247,7 +424,7 @@ fn main() -> ExitCode {
                 }
                 Err(e) => {
                     eprintln!("fg: compile error: {e}");
-                    Err(ExitCode::FAILURE)
+                    Err(EXIT_DIAGNOSTIC)
                 }
             }
         }
@@ -258,37 +435,38 @@ fn main() -> ExitCode {
             match program {
                 Ok(p) => {
                     let sp = tracer.begin("vm_run", Vec::new());
-                    let out = metrics.phase("vm_run", || system_f::vm::run_profiled(&p));
+                    let out = metrics.phase("vm_run", || {
+                        system_f::vm::run_profiled_budgeted(&p, budget)
+                    });
                     tracer.end(sp);
                     match out {
                         Ok((v, stats)) => {
-                            record_vm_stats(&mut metrics, &stats);
+                            record_vm_stats(metrics, &stats);
                             println!("{v}");
                             Ok(())
                         }
                         Err(e) => {
                             eprintln!("fg: vm error: {e}");
-                            Err(ExitCode::FAILURE)
+                            Err(EXIT_DIAGNOSTIC)
                         }
                     }
                 }
                 Err(e) => {
                     eprintln!("fg: compile error: {e}");
-                    Err(ExitCode::FAILURE)
+                    Err(EXIT_DIAGNOSTIC)
                 }
             }
         }
         "run" => {
             let sp = tracer.begin("sf_typecheck", Vec::new());
-            let well_typed =
-                metrics.phase("sf_typecheck", || system_f::typecheck(&compiled.term));
+            let well_typed = metrics.phase("sf_typecheck", || system_f::typecheck(&compiled.term));
             tracer.end(sp);
             if let Err(e) = well_typed {
                 eprintln!("fg: internal error: translation is ill-typed: {e}");
-                return ExitCode::FAILURE;
+                return Err(EXIT_DIAGNOSTIC);
             }
             let sp = tracer.begin("sf_eval", Vec::new());
-            let out = metrics.phase("sf_eval", || system_f::eval(&compiled.term));
+            let out = metrics.phase("sf_eval", || system_f::eval_budgeted(&compiled.term, budget));
             tracer.end(sp);
             match out {
                 Ok(v) => {
@@ -297,15 +475,11 @@ fn main() -> ExitCode {
                 }
                 Err(e) => {
                     eprintln!("fg: runtime error: {e}");
-                    Err(ExitCode::FAILURE)
+                    Err(EXIT_DIAGNOSTIC)
                 }
             }
         }
-        _ => return usage(),
-    };
-    match status {
-        Ok(()) => finish(flags, metrics, &tracer, cmd, path),
-        Err(code) => code,
+        _ => Err(usage()),
     }
 }
 
@@ -367,8 +541,32 @@ fn record_vm_stats(metrics: &mut Metrics, stats: &system_f::vm::VmStats) {
     metrics.set_counter("vm_dispatch", "max_stack_depth", stats.max_stack_depth);
 }
 
+/// The budget's consumption gauges (the `limits` group), plus a
+/// `budget_exhausted` trace instant if a cap tripped.
+fn record_limits(metrics: &mut Metrics, budget: &Budget, tracer: &Tracer) {
+    for (key, value) in [
+        ("fuel_spent", budget.fuel_spent()),
+        ("depth_peak", budget.depth_peak()),
+        ("cc_terms", budget.cc_terms()),
+        ("dict_nodes", budget.dict_nodes()),
+        ("elapsed_ms", budget.elapsed_ms()),
+    ] {
+        metrics.set_counter("limits", key, value);
+    }
+    if let Some(x) = budget.exhausted() {
+        metrics.set_counter("limits", "exhausted", 1);
+        tracer.instant(
+            "budget_exhausted",
+            vec![
+                ("resource", x.resource.as_str().into()),
+                ("limit", x.limit.into()),
+            ],
+        );
+    }
+}
+
 /// Emits the collected telemetry as requested by the flags.
-fn finish(flags: Flags, metrics: Metrics, tracer: &Tracer, cmd: &str, source: &str) -> ExitCode {
+fn finish(flags: &Flags, metrics: Metrics, tracer: &Tracer, cmd: &str, source: &str) -> Result<(), u8> {
     if flags.profile {
         eprint!("{}", metrics.render_table());
     }
@@ -378,20 +576,20 @@ fn finish(flags: Flags, metrics: Metrics, tracer: &Tracer, cmd: &str, source: &s
             print!("{json}");
         } else if let Err(e) = std::fs::write(path, json) {
             eprintln!("fg: cannot write {path}: {e}");
-            return ExitCode::FAILURE;
+            return Err(EXIT_DIAGNOSTIC);
         }
     }
     if let Some(path) = &flags.trace {
         if write_report(path, &tracer.to_jsonl(cmd, source)).is_err() {
-            return ExitCode::FAILURE;
+            return Err(EXIT_DIAGNOSTIC);
         }
     }
     if let Some(path) = &flags.trace_chrome {
         if write_report(path, &tracer.to_chrome_json()).is_err() {
-            return ExitCode::FAILURE;
+            return Err(EXIT_DIAGNOSTIC);
         }
     }
-    ExitCode::SUCCESS
+    Ok(())
 }
 
 /// Writes a rendered report to `path` (`-` for stdout).

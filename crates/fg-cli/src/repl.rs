@@ -10,11 +10,18 @@
 //! `:reset`, `:help`, `:quit`.
 
 use std::io::{BufRead, Write};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use telemetry::limits::{Budget, Limits};
 
 /// The accumulated REPL session state.
 pub struct Repl {
     /// Declaration prefix, each entry a complete `… in`-terminated chunk.
     decls: Vec<String>,
+    /// Per-interaction resource caps (defaults + env, overridable by
+    /// CLI flags via [`Repl::set_limits`]).
+    limits: Limits,
 }
 
 impl Repl {
@@ -24,7 +31,15 @@ impl Repl {
         if with_prelude {
             decls.push(fg::stdlib::PRELUDE.to_owned());
         }
-        Repl { decls }
+        Repl {
+            decls,
+            limits: Limits::DEFAULT_CAPS.with_env(),
+        }
+    }
+
+    /// Overrides the per-interaction resource caps.
+    pub fn set_limits(&mut self, limits: Limits) {
+        self.limits = limits;
     }
 
     fn prefix(&self) -> String {
@@ -35,15 +50,46 @@ impl Repl {
         format!("{}\n{}\n", self.prefix(), body)
     }
 
-    fn compile(&self, body: &str) -> Result<fg::Compiled, String> {
+    /// A fresh budget for one interaction, so one exhausted entry never
+    /// poisons the session.
+    fn budget(&self) -> Arc<Budget> {
+        Arc::new(Budget::new(self.limits))
+    }
+
+    fn compile_with(&self, body: &str, budget: &Arc<Budget>) -> Result<fg::Compiled, String> {
         let src = self.program(body);
-        let expr = fg::parser::parse_expr(&src).map_err(|e| format!("parse error: {e}"))?;
-        fg::check_program(&expr).map_err(|e| e.render(&src))
+        let expr = fg::parser::parse_expr_budgeted(&src, budget.clone())
+            .map_err(|e| format!("parse error: {e}"))?;
+        fg::check::check_program_budgeted(&expr, telemetry::trace::Tracer::disabled(), budget.clone())
+            .map_err(|e| e.render(&src))
+    }
+
+    fn compile(&self, body: &str) -> Result<fg::Compiled, String> {
+        self.compile_with(body, &self.budget())
     }
 
     /// Handles one input line, returning the text to print (or `None` to
-    /// quit).
+    /// quit). Panic-isolated: any crash in the pipeline (a bug in `fg`,
+    /// or an injected `:panic` fault) is caught and reported as a line of
+    /// output, and the session keeps serving.
     pub fn handle(&mut self, line: &str) -> Option<String> {
+        // The declaration list is only pushed to after a successful
+        // validation compile, so a mid-pipeline panic cannot leave it
+        // half-updated.
+        match catch_unwind(AssertUnwindSafe(|| self.handle_inner(line))) {
+            Ok(reply) => reply,
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_owned())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "unknown panic".to_owned());
+                Some(format!("internal error: {msg} (session preserved)"))
+            }
+        }
+    }
+
+    fn handle_inner(&mut self, line: &str) -> Option<String> {
         let line = line.trim();
         if line.is_empty() {
             return Some(String::new());
@@ -72,8 +118,9 @@ impl Repl {
                 }
             }
         }
-        match self.compile(line) {
-            Ok(compiled) => match system_f::eval(&compiled.term) {
+        let budget = self.budget();
+        match self.compile_with(line, &budget) {
+            Ok(compiled) => match system_f::eval_budgeted(&compiled.term, &budget) {
                 Ok(v) => Some(format!("{v} : {}", compiled.ty)),
                 Err(e) => Some(format!("runtime error: {e}")),
             },
@@ -138,8 +185,10 @@ pub fn run_repl(
     input: impl BufRead,
     mut output: impl Write,
     with_prelude: bool,
+    limits: Limits,
 ) -> std::io::Result<()> {
     let mut repl = Repl::new(with_prelude);
+    repl.set_limits(limits);
     writeln!(output, "F_G repl — :help for commands, :quit to leave")?;
     write!(output, "fg> ")?;
     output.flush()?;
@@ -226,6 +275,49 @@ mod tests {
     fn quit_ends_the_session() {
         let mut r = Repl::new(false);
         assert!(r.handle(":quit").is_none());
+    }
+
+    #[test]
+    fn crash_then_continue_scripted_session() {
+        // A scripted (rustyline-free) session: a line that panics inside
+        // the pipeline is reported and the session keeps serving, with all
+        // earlier declarations intact.
+        let plan = telemetry::fault::FaultPlan::parse("check.expr:panic").unwrap();
+        let mut r = Repl::new(false);
+        r.handle("concept S<t> { op : fn(t, t) -> t; }").unwrap();
+        r.handle("model S<int> { op = iadd; }").unwrap();
+        r.handle("let forty = 40").unwrap();
+
+        let crashed = telemetry::fault::with_plan(plan, || r.handle("S<int>.op(forty, 2)"));
+        let msg = crashed.unwrap();
+        assert!(
+            msg.contains("internal error") && msg.contains("session preserved"),
+            "expected a caught-crash report, got: {msg}"
+        );
+
+        // The very next line evaluates normally against the same bindings.
+        assert_eq!(r.handle("S<int>.op(forty, 2)").unwrap(), "42 : int");
+    }
+
+    #[test]
+    fn budget_exhaustion_returns_to_the_prompt() {
+        // A diverging expression dies on the per-interaction budget (as a
+        // diagnostic, not a hang) and the session continues. The depth cap
+        // backstops fuel because Ω deepens the stack as it burns.
+        let mut r = Repl::new(false);
+        r.set_limits(telemetry::limits::Limits {
+            fuel: Some(10_000),
+            max_depth: Some(64),
+            ..telemetry::limits::Limits::UNLIMITED
+        });
+        let msg = r
+            .handle("(fix f: fn(int) -> int. lam x: int. f(x))(0)")
+            .unwrap();
+        assert!(
+            msg.contains("exhausted") || msg.contains("budget"),
+            "expected an exhaustion diagnostic, got: {msg}"
+        );
+        assert_eq!(r.handle("iadd(40, 2)").unwrap(), "42 : int");
     }
 
     #[test]

@@ -183,7 +183,7 @@ fn metrics_json_schema_is_stable() {
     for phase in ["parse", "check_translate", "vm_compile", "vm_run"] {
         assert!(json.contains(&format!("\"{phase}\": ")), "missing phase {phase}: {json}");
     }
-    for group in ["\"check\": {", "\"congruence\": {", "\"vm_dispatch\": {"] {
+    for group in ["\"check\": {", "\"congruence\": {", "\"vm_dispatch\": {", "\"limits\": {"] {
         assert!(json.contains(group), "missing group {group}: {json}");
     }
     for counter in [
@@ -195,6 +195,8 @@ fn metrics_json_schema_is_stable() {
         "terms", "term_bank_peak",
         // vm_dispatch group: the instruction total, every opcode, gauges
         "instructions", "max_frame_depth", "max_stack_depth",
+        // limits group: resource-budget consumption gauges
+        "fuel_spent", "depth_peak", "cc_terms", "dict_nodes", "elapsed_ms",
     ] {
         assert!(json.contains(&format!("\"{counter}\": ")), "missing counter {counter}");
     }
@@ -322,4 +324,117 @@ fn profile_flag_prints_a_table_to_stderr() {
     for needle in ["parse", "check_translate", "model_lookups", "dicts_built", "finds"] {
         assert!(stderr.contains(needle), "missing {needle} in table:\n{stderr}");
     }
+}
+
+/// Like [`run_fg`] but reports the raw exit code, for the crash-vs-
+/// diagnostic contract (0 ok, 1 diagnostic, 2 usage, 3 caught crash).
+fn run_fg_code(args: &[&str], stdin: &str) -> (String, String, i32) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_fg"))
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn fg");
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(stdin.as_bytes())
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.code().unwrap_or(-1),
+    )
+}
+
+/// Budget exhaustion is a *diagnostic* (exit 1), lands in the `limits`
+/// metrics group, and emits the `budget_exhausted` trace instant in the
+/// fg-trace/1 vocabulary.
+#[test]
+fn budget_exhaustion_emits_trace_instant_and_limits_counters() {
+    let trace = format!(
+        "{}/trace-exhaust-{}.jsonl",
+        env!("CARGO_TARGET_TMPDIR"),
+        std::process::id()
+    );
+    let metrics = format!(
+        "{}/metrics-exhaust-{}.json",
+        env!("CARGO_TARGET_TMPDIR"),
+        std::process::id()
+    );
+    let (_, stderr, code) = run_fg_code(
+        &["check", "--fuel", "5", "--trace", &trace, "--metrics-json", &metrics, "-"],
+        FIG5,
+    );
+    assert_eq!(code, 1, "exhaustion must be a diagnostic exit: {stderr}");
+    assert!(
+        stderr.contains("fuel budget of 5 exhausted"),
+        "unstructured exhaustion report: {stderr}"
+    );
+
+    let jsonl = std::fs::read_to_string(&trace).expect("trace file written on the error path");
+    std::fs::remove_file(&trace).ok();
+    let instant = jsonl
+        .lines()
+        .find(|l| l.contains("\"name\":\"budget_exhausted\""))
+        .unwrap_or_else(|| panic!("no budget_exhausted instant in:\n{jsonl}"));
+    assert!(instant.contains("\"ev\":\"instant\""), "{instant}");
+    assert!(instant.contains("\"resource\":\"fuel\""), "{instant}");
+    assert!(instant.contains("\"limit\":5"), "{instant}");
+
+    let json = std::fs::read_to_string(&metrics).expect("metrics written on the error path");
+    std::fs::remove_file(&metrics).ok();
+    assert!(json.contains("\"limits\": {"), "{json}");
+    assert!(json.contains("\"exhausted\": 1"), "{json}");
+    assert!(json.contains("\"fuel_spent\": "), "{json}");
+}
+
+/// An injected panic is *caught*: reported as an internal error with
+/// exit 3, distinct from a diagnostic's exit 1.
+#[test]
+fn injected_panic_is_caught_with_a_crash_exit_code() {
+    let (_, stderr, code) = run_fg_code(&["check", "--inject-fault", "check.expr:panic", "-"], FIG5);
+    assert_eq!(code, 3, "caught crash must exit 3: {stderr}");
+    assert!(
+        stderr.contains("internal error") && stderr.contains("injected fault panic"),
+        "crash not reported: {stderr}"
+    );
+}
+
+/// Batch mode keeps serving after a crashing file and reports the worst
+/// exit code across the batch.
+#[test]
+fn batch_mode_survives_a_crashing_file() {
+    let good = concat!(env!("CARGO_MANIFEST_DIR"), "/../../examples/fig5_accumulate.fg");
+    let (stdout, stderr, code) = run_fg_code(
+        &["check", "--inject-fault", "check.expr@1:panic", good, good],
+        "",
+    );
+    // The first file crashes on the injected fault; the plan is exhausted
+    // (one arm), so the second file completes and prints its type.
+    assert_eq!(code, 3, "worst code wins: {stderr}");
+    assert!(stdout.contains("int"), "second file must still run: {stdout}\n{stderr}");
+}
+
+/// Every committed adversarial example dies as a structured diagnostic
+/// (exit 1) under the default caps — never a crash, never a hang.
+#[test]
+fn adversarial_corpus_exits_with_diagnostics() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../examples/adversarial");
+    let mut seen = 0;
+    for entry in std::fs::read_dir(dir).expect("adversarial corpus present") {
+        let path = entry.unwrap().path();
+        if path.extension().is_none_or(|e| e != "fg") {
+            continue;
+        }
+        seen += 1;
+        let p = path.to_str().unwrap();
+        let (_, stderr, code) = run_fg_code(&["run", p], "");
+        assert_eq!(code, 1, "{p}: want a diagnostic exit, got {code}: {stderr}");
+        assert!(!stderr.trim().is_empty(), "{p}: diagnostic must be reported");
+    }
+    assert!(seen >= 4, "expected at least 4 adversarial examples, saw {seen}");
 }

@@ -25,8 +25,11 @@
 //! type parameter the paper calls `elt1`.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use system_f::{Prim, Symbol, Term};
+use telemetry::fault::{self, FaultMode};
+use telemetry::limits::{Budget, Exhausted, Resource};
 use telemetry::trace::{SpanId, Tracer};
 
 use crate::ast::{ConceptDecl, ConceptItem, Constraint, Expr, ExprKind, FgTy, ModelDecl, ModelItem};
@@ -109,25 +112,45 @@ pub fn check_program(e: &Expr) -> Result<Compiled, CheckError> {
 /// crate's `trace` module for the event model). With a disabled tracer
 /// this is exactly `check_program`.
 pub fn check_program_traced(e: &Expr, tracer: Tracer) -> Result<Compiled, CheckError> {
+    check_program_budgeted(e, tracer, Arc::default())
+}
+
+/// [`check_program_traced`] with a shared resource budget: the checker
+/// charges fuel per expression node, bounds its recursion depth, and
+/// charges the budget for every congruence node and dictionary-plan node
+/// it creates. When any limit trips, checking stops with a structured
+/// [`ErrorKind::ResourceExhausted`] error instead of looping or
+/// overflowing the stack.
+pub fn check_program_budgeted(
+    e: &Expr,
+    tracer: Tracer,
+    budget: Arc<Budget>,
+) -> Result<Compiled, CheckError> {
     // The checker recurses once per nested expression; library-sized
     // programs (a prelude is a single deeply right-nested expression)
     // exceed small default thread stacks. Shallow programs check inline;
     // deep ones get a dedicated big-stack thread. The tracer handle is
     // shared, so the record is seamless across the thread boundary.
-    if !depth_exceeds(e, 40) {
+    // 24 leaves ample headroom on a default 2 MiB thread even for the
+    // checker's fattest debug-build frames (budget guard + fault probe
+    // included).
+    if !depth_exceeds(e, 24) {
         let mut checker = Checker::new();
         checker.set_tracer(tracer);
+        checker.set_budget(budget);
         let (ty, term, elaborated) = checker.check_elab(e)?;
         return Ok(compiled(checker, ty, term, elaborated));
     }
     std::thread::scope(|scope| {
         let tracer = tracer.clone();
+        let budget = budget.clone();
         let handle = std::thread::Builder::new()
             .name("fg-checker".to_owned())
             .stack_size(64 * 1024 * 1024)
             .spawn_scoped(scope, move || {
                 let mut checker = Checker::new();
                 checker.set_tracer(tracer);
+                checker.set_budget(budget);
                 let (ty, term, elaborated) = checker.check_elab(e)?;
                 Ok(compiled(checker, ty, term, elaborated))
             })
@@ -139,6 +162,11 @@ pub fn check_program_traced(e: &Expr, tracer: Tracer) -> Result<Compiled, CheckE
             })?;
         handle.join().unwrap_or_else(|payload| Err(panic_to_error(&payload)))
     })
+}
+
+/// Wraps a budget-exhaustion record as a spanned check error.
+fn exhausted_err(x: Exhausted, phase: &'static str, span: Span) -> CheckError {
+    CheckError::new(ErrorKind::ResourceExhausted { exhausted: x, phase }, span)
 }
 
 fn compiled(checker: Checker, ty: RTy, term: Term, elaborated: Expr) -> Compiled {
@@ -354,6 +382,10 @@ pub struct Checker {
     /// Trace sink for resolution/dictionary/where events (disabled by
     /// default; shared with `teq` once set).
     tracer: Tracer,
+    /// Shared resource budget (unlimited by default; shared with `teq`
+    /// once set). Charged per expression node, congruence node, and
+    /// dictionary-plan node.
+    budget: Arc<Budget>,
 }
 
 impl Checker {
@@ -367,6 +399,14 @@ impl Checker {
     pub fn set_tracer(&mut self, tracer: Tracer) {
         self.teq.set_tracer(tracer.clone());
         self.tracer = tracer;
+    }
+
+    /// Attaches a shared resource budget; the type-equality engine shares
+    /// it (congruence nodes and unions charge the same pool as the
+    /// checker's per-node fuel).
+    pub fn set_budget(&mut self, budget: Arc<Budget>) {
+        self.teq.set_budget(budget.clone());
+        self.budget = budget;
     }
 
     /// Renders type arguments for trace attributes: `<int, list t>`.
@@ -684,6 +724,19 @@ impl Checker {
     /// deduplication: diamonds duplicate sub-dictionaries, as in the
     /// paper's nested-tuple representation).
     fn build_dict_plan(&self, cid: ConceptId, cname: Symbol, args: &[RTy]) -> DictPlan {
+        // A refinement diamond duplicates sub-plans, so this recursion is
+        // worst-case exponential in the refinement depth. Charge one
+        // dict-node per plan node; once the budget trips, degrade to a
+        // childless leaf — the enclosing fallible caller polls the budget
+        // and reports the exhaustion, so the truncated plan is never used.
+        if self.budget.charge_dict_node().is_err() {
+            return DictPlan {
+                concept: cid,
+                concept_name: cname,
+                args: args.to_vec(),
+                children: Vec::new(),
+            };
+        }
         let info = self.concepts.get(cid).clone();
         let s = self.instantiation_subst(&info, args);
         let children = info
@@ -748,7 +801,19 @@ impl Checker {
         register_models: bool,
         span: Span,
     ) -> Result<WhereScope, CheckError> {
+        match fault::hit("check.where_enter") {
+            None => {}
+            Some(FaultMode::Error) => {
+                self.budget.trip(Resource::Injected, 0);
+            }
+            Some(FaultMode::Panic) => panic!("injected fault panic at check.where_enter"),
+        }
+        self.budget.ok().map_err(|x| exhausted_err(x, "check", span))?;
         let plan = self.where_plan(constraints);
+        // `where_plan` degrades to truncated dictionary plans when the
+        // dict-node budget trips mid-way; poll so the truncation surfaces
+        // as a structured error rather than a wrong dictionary shape.
+        self.budget.ok().map_err(|x| exhausted_err(x, "check", span))?;
         let mut assoc_binders = Vec::with_capacity(plan.assoc_slots.len());
         for slot in &plan.assoc_slots {
             let fresh = Symbol::fresh(slot.name.as_str());
@@ -1103,6 +1168,18 @@ impl Checker {
     ) -> Option<ResolvedModel> {
         self.stats.model_lookups += 1;
         self.stats.max_scope_depth = self.stats.max_scope_depth.max(self.models.len() as u64);
+        let _ = self.budget.charge_fuel(1);
+        match fault::hit("check.resolve_model") {
+            None => {}
+            Some(FaultMode::Error) => {
+                // Trip the budget and report a miss: the caller turns the
+                // miss into a structured `NoModel`/exhaustion diagnostic.
+                self.budget.trip(Resource::Injected, 0);
+                self.stats.model_misses += 1;
+                return None;
+            }
+            Some(FaultMode::Panic) => panic!("injected fault panic at check.resolve_model"),
+        }
         if self.busy > LOOKUP_DEPTH_LIMIT {
             self.stats.model_misses += 1;
             self.tracer.instant_with("lookup_depth_limit", || {
@@ -1533,6 +1610,30 @@ impl Checker {
     /// instantiations made explicit (every inferred `e[τ̄]` inserted), so
     /// the direct interpreter can execute exactly what was typechecked.
     pub fn check_elab(&mut self, e: &Expr) -> Result<(RTy, Term, Expr), CheckError> {
+        let budget = self.budget.clone();
+        budget
+            .charge_fuel(1)
+            .map_err(|x| exhausted_err(x, "check", e.span))?;
+        let _depth = budget.enter().map_err(|x| exhausted_err(x, "check", e.span))?;
+        match fault::hit("check.expr") {
+            None => {}
+            Some(FaultMode::Error) => {
+                budget.trip(Resource::Injected, 0);
+                return Err(exhausted_err(
+                    Exhausted {
+                        resource: Resource::Injected,
+                        limit: 0,
+                    },
+                    "check",
+                    e.span,
+                ));
+            }
+            Some(FaultMode::Panic) => panic!("injected fault panic at check.expr"),
+        }
+        self.check_elab_rec(e)
+    }
+
+    fn check_elab_rec(&mut self, e: &Expr) -> Result<(RTy, Term, Expr), CheckError> {
         let span = e.span;
         match &e.kind {
             ExprKind::Var(x) => {

@@ -218,6 +218,17 @@ pub enum ErrorKind {
     /// checker thread panicked). Always a bug or a resource-exhaustion
     /// condition, never a property of the input program.
     Internal(String),
+    /// A configured resource budget (fuel, recursion depth, congruence
+    /// nodes, dictionary nodes, or wall clock) was exhausted in some
+    /// pipeline phase. Unlike [`ErrorKind::Internal`], this is an
+    /// expected, recoverable outcome of running with limits.
+    ResourceExhausted {
+        /// Which budget tripped and at what limit.
+        exhausted: telemetry::limits::Exhausted,
+        /// The pipeline phase that tripped it ("parse", "check",
+        /// "translate", "eval", …).
+        phase: &'static str,
+    },
 }
 
 fn fmt_args(args: &[RTy], f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -328,6 +339,9 @@ impl fmt::Display for ErrorKind {
             ),
             ErrorKind::Internal(msg) => {
                 write!(f, "internal checker error: {msg}")
+            }
+            ErrorKind::ResourceExhausted { exhausted, phase } => {
+                write!(f, "{exhausted} during {phase}; raise the limit or simplify the program")
             }
         }
     }

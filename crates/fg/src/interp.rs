@@ -16,8 +16,11 @@ use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::fmt;
 use std::rc::Rc;
+use std::sync::Arc;
 
 use system_f::{Prim, Symbol};
+use telemetry::fault::{self, FaultMode};
+use telemetry::limits::{Budget, Exhausted, Resource};
 use telemetry::trace::Tracer;
 
 use crate::ast::{ConceptItem, Constraint, Expr, ExprKind, FgTy, ModelItem};
@@ -224,6 +227,9 @@ pub struct DEnv {
     stats: Rc<StatsCell>,
     /// Structured-trace handle shared the same way; disabled by default.
     tracer: Tracer,
+    /// Shared resource budget (unlimited by default): fuel per evaluated
+    /// expression, recursion depth, and the wall-clock deadline.
+    budget: Arc<Budget>,
 }
 
 /// Shared mutable counters behind [`EvalStats`]; `Cell` keeps the hot
@@ -416,6 +422,9 @@ pub enum RuntimeError {
     UnknownMember(Symbol),
     /// A type variable escaped (ill-typed input).
     UnboundTyVar(Symbol),
+    /// A configured resource budget (fuel, depth, or wall clock) was
+    /// exhausted; evaluation stopped cleanly.
+    ResourceExhausted(Exhausted),
 }
 
 impl fmt::Display for RuntimeError {
@@ -432,6 +441,7 @@ impl fmt::Display for RuntimeError {
             RuntimeError::NoModel(c) => write!(f, "no model for `{c}` at runtime"),
             RuntimeError::UnknownMember(m) => write!(f, "unknown member `{m}`"),
             RuntimeError::UnboundTyVar(t) => write!(f, "unbound type variable `{t}`"),
+            RuntimeError::ResourceExhausted(x) => write!(f, "evaluation stopped: {x}"),
         }
     }
 }
@@ -477,8 +487,25 @@ pub fn run_direct_profiled(e: &Expr) -> Result<(DValue, EvalStats), RuntimeError
 ///
 /// Same as [`run_direct`].
 pub fn run_direct_traced(e: &Expr, tracer: Tracer) -> Result<(DValue, EvalStats), RuntimeError> {
+    run_direct_budgeted(e, tracer, Arc::default())
+}
+
+/// [`run_direct_traced`] with a shared resource budget: every evaluated
+/// expression charges fuel, recursion depth is bounded, and the wall-clock
+/// deadline is polled, so a divergent program (Ω) stops with
+/// [`RuntimeError::ResourceExhausted`] instead of running forever.
+///
+/// # Errors
+///
+/// As [`run_direct`], plus [`RuntimeError::ResourceExhausted`].
+pub fn run_direct_budgeted(
+    e: &Expr,
+    tracer: Tracer,
+    budget: Arc<Budget>,
+) -> Result<(DValue, EvalStats), RuntimeError> {
     let env = DEnv {
         tracer,
+        budget,
         ..DEnv::default()
     };
     let v = eval(e, &env)?;
@@ -953,6 +980,21 @@ fn find_member_value(table: &ConceptTable, model: &RtModel, member: Symbol) -> O
 
 fn eval(e: &Expr, env: &DEnv) -> Result<DValue, RuntimeError> {
     inc(&env.stats.eval_steps);
+    env.budget
+        .charge_fuel(1)
+        .map_err(RuntimeError::ResourceExhausted)?;
+    let _depth = env.budget.enter().map_err(RuntimeError::ResourceExhausted)?;
+    match fault::hit("interp.eval") {
+        None => {}
+        Some(FaultMode::Error) => {
+            env.budget.trip(Resource::Injected, 0);
+            return Err(RuntimeError::ResourceExhausted(Exhausted {
+                resource: Resource::Injected,
+                limit: 0,
+            }));
+        }
+        Some(FaultMode::Panic) => panic!("injected fault panic at interp.eval"),
+    }
     match &e.kind {
         ExprKind::Var(x) => env.lookup(*x),
         ExprKind::IntLit(n) => Ok(DValue::Int(*n)),

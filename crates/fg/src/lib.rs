@@ -58,6 +58,7 @@
 //! | [`typeeq`] | congruence-closure type equality (§5.1) |
 //! | [`check`] | the typechecker and translation to System F (Figures 9, 13) |
 //! | [`interp`] | direct big-step interpreter (differential oracle) |
+//! | [`limits`] | resource budgets: governed, panic-free pipeline entry points |
 //! | [`pretty`] | pretty-printer for the surface syntax |
 //! | [`stdlib`] | an STL-flavoured concept library written in F_G |
 //! | [`corpus`] | the paper's figures as runnable programs |
@@ -77,6 +78,7 @@ pub mod format;
 pub mod graph;
 pub mod linalg;
 pub mod interp;
+pub mod limits;
 pub mod parser;
 pub mod pretty;
 pub mod rty;

@@ -36,8 +36,16 @@
 //!        | C '<' τ̄ '>' '.' x | '(' expr ')'
 //! ```
 
+use std::sync::Arc;
+
 use system_f::lexer::{lex, Span, Token, TokenKind};
 use system_f::{ParseError, Prim, Symbol};
+use telemetry::limits::{Budget, Resource};
+
+/// Hard ceiling on parser recursion even without a budget: deep enough
+/// for any real program, shallow enough that pathological nesting
+/// cannot overflow an 8 MB thread stack.
+const PARSE_DEPTH_FALLBACK: usize = 10_000;
 
 use crate::ast::{
     ConceptDecl, ConceptItem, Constraint, Expr, ExprKind, FgTy, ModelDecl, ModelItem,
@@ -71,6 +79,35 @@ pub fn parse_expr(src: &str) -> Result<Expr, ParseError> {
     Ok(e)
 }
 
+/// [`parse_expr`] with a shared resource budget: nesting beyond the
+/// budget's `max_depth` (or the parser's stack-safety ceiling,
+/// whichever is lower) fails with [`ParseError::TooDeep`] and latches
+/// the budget, instead of risking a stack overflow.
+///
+/// # Errors
+///
+/// As [`parse_expr`], plus [`ParseError::TooDeep`].
+pub fn parse_expr_budgeted(src: &str, budget: Arc<Budget>) -> Result<Expr, ParseError> {
+    if let Some(mode) = telemetry::fault::hit("parse") {
+        match mode {
+            telemetry::fault::FaultMode::Error => {
+                budget.trip(Resource::Injected, 0);
+                return Err(ParseError::TooDeep {
+                    span: Span::default(),
+                    limit: 0,
+                });
+            }
+            telemetry::fault::FaultMode::Panic => panic!("injected fault panic at parse"),
+        }
+    }
+    let tokens = lex(src)?;
+    let mut p = FgParser::new(tokens);
+    p.set_budget(budget);
+    let e = p.expr()?;
+    p.expect_eof()?;
+    Ok(e)
+}
+
 /// Parses a complete F_G type.
 ///
 /// # Errors
@@ -87,11 +124,51 @@ pub fn parse_fg_ty(src: &str) -> Result<FgTy, ParseError> {
 struct FgParser {
     tokens: Vec<Token>,
     pos: usize,
+    depth: usize,
+    depth_limit: usize,
+    budget: Option<Arc<Budget>>,
 }
 
 impl FgParser {
     fn new(tokens: Vec<Token>) -> FgParser {
-        FgParser { tokens, pos: 0 }
+        FgParser {
+            tokens,
+            pos: 0,
+            depth: 0,
+            depth_limit: PARSE_DEPTH_FALLBACK,
+            budget: None,
+        }
+    }
+
+    /// Attaches a budget: its `max_depth` (clamped by the stack-safety
+    /// ceiling) bounds recursion, and exhaustion is latched on it.
+    fn set_budget(&mut self, budget: Arc<Budget>) {
+        self.depth_limit = budget.limits().max_depth.map_or(PARSE_DEPTH_FALLBACK, |d| {
+            usize::try_from(d)
+                .unwrap_or(PARSE_DEPTH_FALLBACK)
+                .min(PARSE_DEPTH_FALLBACK)
+        });
+        self.budget = Some(budget);
+    }
+
+    /// Enters one level of grammar recursion; pair with `ascend`.
+    fn descend(&mut self) -> Result<(), ParseError> {
+        self.depth += 1;
+        if self.depth > self.depth_limit {
+            let limit = self.depth_limit as u64;
+            if let Some(b) = &self.budget {
+                b.trip(Resource::Depth, limit);
+            }
+            return Err(ParseError::TooDeep {
+                span: self.peek().span,
+                limit,
+            });
+        }
+        Ok(())
+    }
+
+    fn ascend(&mut self) {
+        self.depth -= 1;
     }
 
     fn peek(&self) -> Token {
@@ -183,6 +260,13 @@ impl FgParser {
     // -------------------------------------------------------------- types
 
     fn ty(&mut self) -> Result<FgTy, ParseError> {
+        self.descend()?;
+        let out = self.ty_rec();
+        self.ascend();
+        out
+    }
+
+    fn ty_rec(&mut self) -> Result<FgTy, ParseError> {
         if self.at_kw("fn") {
             self.bump();
             self.expect(TokenKind::LParen, "`(`")?;
@@ -310,6 +394,13 @@ impl FgParser {
     // -------------------------------------------------------------- terms
 
     fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.descend()?;
+        let out = self.expr_rec();
+        self.ascend();
+        out
+    }
+
+    fn expr_rec(&mut self) -> Result<Expr, ParseError> {
         let start = self.peek().span;
         if self.at_kw("concept") {
             self.bump();

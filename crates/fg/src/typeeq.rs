@@ -160,6 +160,14 @@ impl TypeEq {
         self.carried.term_bank_peak = self.carried.term_bank_peak.max(delta.term_bank_peak);
     }
 
+    /// Attaches a shared resource budget: congruence-node creation and
+    /// class unions charge against it, so a blowup in the equality
+    /// engine trips the budget instead of exhausting memory. Scope
+    /// clones share the budget.
+    pub fn set_budget(&mut self, budget: std::sync::Arc<telemetry::limits::Budget>) {
+        self.cc.set_budget(budget);
+    }
+
     /// Attaches a trace sink: every assertion and every congruence-class
     /// union (with its representative and asserted/propagated cause) is
     /// reported to it. Scope clones share the sink.

@@ -11,6 +11,8 @@ use crate::{Prim, Symbol, Term};
 use std::cell::RefCell;
 use std::fmt;
 use std::rc::Rc;
+use telemetry::fault::{self, FaultMode};
+use telemetry::limits::{Budget, Exhausted, Resource};
 
 /// A runtime value.
 #[derive(Debug, Clone)]
@@ -263,6 +265,10 @@ pub enum EvalError {
     /// The body of a `fix` demanded the recursive value while still
     /// computing it.
     FixForcedEarly(Symbol),
+    /// The shared resource budget ran out (fuel, depth, or deadline) —
+    /// see [`eval_budgeted`]. Divergent terms such as Ω surface here
+    /// instead of overflowing the stack.
+    ResourceExhausted(Exhausted),
 }
 
 impl fmt::Display for EvalError {
@@ -280,6 +286,7 @@ impl fmt::Display for EvalError {
             EvalError::FixForcedEarly(x) => {
                 write!(f, "recursive binding `{x}` forced before it was defined")
             }
+            EvalError::ResourceExhausted(e) => write!(f, "evaluation stopped: {e}"),
         }
     }
 }
@@ -304,20 +311,47 @@ pub fn eval(term: &Term) -> Result<Value, EvalError> {
     eval_in(term, &Env::new())
 }
 
+/// Evaluates a closed term against a resource budget: each node charges
+/// one fuel unit and one recursion level, so divergent terms terminate
+/// with [`EvalError::ResourceExhausted`] instead of overflowing the
+/// stack or spinning past the deadline.
+pub fn eval_budgeted(term: &Term, budget: &Budget) -> Result<Value, EvalError> {
+    eval_in_b(term, &Env::new(), budget)
+}
+
 /// Evaluates a term in a caller-supplied environment.
 pub fn eval_in(term: &Term, env: &Env) -> Result<Value, EvalError> {
+    eval_in_b(term, env, Budget::unlimited_ref())
+}
+
+/// Checks the `sf.eval` fault-injection point (see `telemetry::fault`).
+fn fault_point(budget: &Budget) -> Result<(), EvalError> {
+    match fault::hit("sf.eval") {
+        None => Ok(()),
+        Some(FaultMode::Error) => Err(EvalError::ResourceExhausted(
+            budget.trip(Resource::Injected, 0),
+        )),
+        Some(FaultMode::Panic) => panic!("injected fault panic at sf.eval"),
+    }
+}
+
+/// [`eval_in`] with an explicit budget: the recursive workhorse.
+pub fn eval_in_b(term: &Term, env: &Env, budget: &Budget) -> Result<Value, EvalError> {
+    budget.charge_fuel(1).map_err(EvalError::ResourceExhausted)?;
+    let _depth = budget.enter().map_err(EvalError::ResourceExhausted)?;
+    fault_point(budget)?;
     match term {
         Term::Var(x) => env.lookup(*x),
         Term::IntLit(n) => Ok(Value::Int(*n)),
         Term::BoolLit(b) => Ok(Value::Bool(*b)),
         Term::Prim(p) => Ok(Value::Prim(*p)),
         Term::App(f, args) => {
-            let fv = eval_in(f, env)?;
+            let fv = eval_in_b(f, env, budget)?;
             let mut argv = Vec::with_capacity(args.len());
             for a in args {
-                argv.push(eval_in(a, env)?);
+                argv.push(eval_in_b(a, env, budget)?);
             }
-            apply(fv, argv)
+            apply_b(fv, argv, budget)
         }
         Term::Lam(params, body) => Ok(Value::Closure {
             params: params.iter().map(|(n, _)| *n).collect(),
@@ -330,7 +364,7 @@ pub fn eval_in(term: &Term, env: &Env) -> Result<Value, EvalError> {
             env: env.clone(),
         }),
         Term::TyApp(f, args) => {
-            let fv = eval_in(f, env)?;
+            let fv = eval_in_b(f, env, budget)?;
             match fv {
                 Value::TyClosure { vars, body, env } => {
                     if vars.len() != args.len() {
@@ -340,7 +374,7 @@ pub fn eval_in(term: &Term, env: &Env) -> Result<Value, EvalError> {
                         });
                     }
                     // Types are computationally irrelevant: just run the body.
-                    eval_in(&body, &env)
+                    eval_in_b(&body, &env, budget)
                 }
                 // `nil[τ]` is the empty list; other polymorphic primitives
                 // ignore their type arguments.
@@ -350,23 +384,23 @@ pub fn eval_in(term: &Term, env: &Env) -> Result<Value, EvalError> {
             }
         }
         Term::Let(x, bound, body) => {
-            let v = eval_in(bound, env)?;
-            eval_in(body, &env.bind(*x, v))
+            let v = eval_in_b(bound, env, budget)?;
+            eval_in_b(body, &env.bind(*x, v), budget)
         }
         Term::Tuple(items) => {
             let mut vs = Vec::with_capacity(items.len());
             for e in items {
-                vs.push(eval_in(e, env)?);
+                vs.push(eval_in_b(e, env, budget)?);
             }
             Ok(Value::Tuple(vs))
         }
-        Term::Nth(e, i) => match eval_in(e, env)? {
+        Term::Nth(e, i) => match eval_in_b(e, env, budget)? {
             Value::Tuple(items) => items.get(*i).cloned().ok_or(EvalError::BadProjection),
             _ => Err(EvalError::BadProjection),
         },
-        Term::If(c, t, e) => match eval_in(c, env)? {
-            Value::Bool(true) => eval_in(t, env),
-            Value::Bool(false) => eval_in(e, env),
+        Term::If(c, t, e) => match eval_in_b(c, env, budget)? {
+            Value::Bool(true) => eval_in_b(t, env, budget),
+            Value::Bool(false) => eval_in_b(e, env, budget),
             _ => Err(EvalError::CondNotBool),
         },
         Term::Fix(x, _ty, body) => {
@@ -385,7 +419,7 @@ pub fn eval_in(term: &Term, env: &Env) -> Result<Value, EvalError> {
             }
             // General case (rare): tie the knot through a mutable cell.
             let env2 = env.bind_uninit(*x);
-            let v = eval_in(body, &env2)?;
+            let v = eval_in_b(body, &env2, budget)?;
             if let Some(node) = &env2.0 {
                 *node.value.borrow_mut() = Some(v.clone());
             }
@@ -396,6 +430,12 @@ pub fn eval_in(term: &Term, env: &Env) -> Result<Value, EvalError> {
 
 /// Applies a function value to evaluated arguments.
 pub fn apply(f: Value, args: Vec<Value>) -> Result<Value, EvalError> {
+    apply_b(f, args, Budget::unlimited_ref())
+}
+
+/// [`apply`] against an explicit budget (the application itself is free;
+/// the applied body's nodes charge as they evaluate).
+pub fn apply_b(f: Value, args: Vec<Value>, budget: &Budget) -> Result<Value, EvalError> {
     match f {
         Value::Closure { params, body, env } => {
             if params.len() != args.len() {
@@ -408,7 +448,7 @@ pub fn apply(f: Value, args: Vec<Value>) -> Result<Value, EvalError> {
             for (p, a) in params.iter().zip(args) {
                 env = env.bind(*p, a);
             }
-            eval_in(&body, &env)
+            eval_in_b(&body, &env, budget)
         }
         Value::RecClosure {
             name,
@@ -435,7 +475,7 @@ pub fn apply(f: Value, args: Vec<Value>) -> Result<Value, EvalError> {
             for (p, a) in params.iter().zip(args) {
                 env2 = env2.bind(*p, a);
             }
-            eval_in(&body, &env2)
+            eval_in_b(&body, &env2, budget)
         }
         Value::Prim(p) => apply_prim(p, args),
         other => Err(EvalError::NotAFunction(other.to_string())),

@@ -55,7 +55,7 @@ mod typeck;
 pub mod types;
 
 pub use ast::{Prim, Term, Ty};
-pub use eval::{apply, eval, eval_in, Env, EvalError, VList, VListIter, Value};
-pub use parser::{parse_term, parse_ty, ParseError};
+pub use eval::{apply, eval, eval_budgeted, eval_in, Env, EvalError, VList, VListIter, Value};
+pub use parser::{parse_term, parse_term_budgeted, parse_ty, ParseError};
 pub use symbol::Symbol;
 pub use typeck::{typecheck, typecheck_open, TypeError};

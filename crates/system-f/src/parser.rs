@@ -24,6 +24,13 @@
 use crate::lexer::{lex, LexError, Span, Token, TokenKind};
 use crate::{Prim, Symbol, Term, Ty};
 use std::fmt;
+use std::sync::Arc;
+use telemetry::limits::{Budget, Resource};
+
+/// Hard ceiling on parser recursion even without a budget: deep enough
+/// for any real program, shallow enough that a pathological
+/// `((((…))))` cannot overflow an 8 MB thread stack.
+pub(crate) const PARSE_DEPTH_FALLBACK: usize = 10_000;
 
 /// A parse error.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -41,6 +48,14 @@ pub enum ParseError {
     },
     /// Input continued after a complete term.
     TrailingInput(Span),
+    /// Nesting exceeded the recursion-depth limit (either the attached
+    /// budget's `max_depth` or the parser's own stack-safety ceiling).
+    TooDeep {
+        /// Where the limit was hit.
+        span: Span,
+        /// The limit that was in force.
+        limit: u64,
+    },
 }
 
 impl fmt::Display for ParseError {
@@ -59,6 +74,11 @@ impl fmt::Display for ParseError {
             ParseError::TrailingInput(span) => {
                 write!(f, "unexpected trailing input at byte {}", span.start)
             }
+            ParseError::TooDeep { span, limit } => write!(
+                f,
+                "nesting deeper than {limit} at byte {}: depth budget exhausted",
+                span.start
+            ),
         }
     }
 }
@@ -92,6 +112,35 @@ pub fn parse_term(src: &str) -> Result<Term, ParseError> {
     Ok(t)
 }
 
+/// [`parse_term`] with a shared resource budget: nesting beyond the
+/// budget's `max_depth` (or the parser's stack-safety ceiling,
+/// whichever is lower) fails with [`ParseError::TooDeep`] and latches
+/// the budget, instead of risking a stack overflow.
+///
+/// # Errors
+///
+/// As [`parse_term`], plus [`ParseError::TooDeep`].
+pub fn parse_term_budgeted(src: &str, budget: Arc<Budget>) -> Result<Term, ParseError> {
+    if let Some(mode) = telemetry::fault::hit("sf.parse") {
+        match mode {
+            telemetry::fault::FaultMode::Error => {
+                budget.trip(Resource::Injected, 0);
+                return Err(ParseError::TooDeep {
+                    span: Span::default(),
+                    limit: 0,
+                });
+            }
+            telemetry::fault::FaultMode::Panic => panic!("injected fault panic at sf.parse"),
+        }
+    }
+    let tokens = lex(src)?;
+    let mut p = Parser::new(tokens);
+    p.set_budget(budget);
+    let t = p.term()?;
+    p.expect_eof()?;
+    Ok(t)
+}
+
 /// Parses a complete System F type.
 ///
 /// # Errors
@@ -108,11 +157,52 @@ pub fn parse_ty(src: &str) -> Result<Ty, ParseError> {
 pub(crate) struct Parser {
     tokens: Vec<Token>,
     pos: usize,
+    depth: usize,
+    depth_limit: usize,
+    budget: Option<Arc<Budget>>,
 }
 
 impl Parser {
     pub(crate) fn new(tokens: Vec<Token>) -> Parser {
-        Parser { tokens, pos: 0 }
+        Parser {
+            tokens,
+            pos: 0,
+            depth: 0,
+            depth_limit: PARSE_DEPTH_FALLBACK,
+            budget: None,
+        }
+    }
+
+    /// Attaches a budget: its `max_depth` (clamped by the stack-safety
+    /// ceiling) bounds recursion, and exhaustion is latched on it.
+    pub(crate) fn set_budget(&mut self, budget: Arc<Budget>) {
+        self.depth_limit = budget
+            .limits()
+            .max_depth
+            .map_or(PARSE_DEPTH_FALLBACK, |d| {
+                usize::try_from(d).unwrap_or(PARSE_DEPTH_FALLBACK).min(PARSE_DEPTH_FALLBACK)
+            });
+        self.budget = Some(budget);
+    }
+
+    /// Enters one level of grammar recursion; pair with `ascend`.
+    fn descend(&mut self) -> Result<(), ParseError> {
+        self.depth += 1;
+        if self.depth > self.depth_limit {
+            let limit = self.depth_limit as u64;
+            if let Some(b) = &self.budget {
+                b.trip(Resource::Depth, limit);
+            }
+            return Err(ParseError::TooDeep {
+                span: self.peek().span,
+                limit,
+            });
+        }
+        Ok(())
+    }
+
+    fn ascend(&mut self) {
+        self.depth -= 1;
     }
 
     fn peek(&self) -> Token {
@@ -199,6 +289,13 @@ impl Parser {
     // ------------------------------------------------------------ types
 
     pub(crate) fn ty(&mut self) -> Result<Ty, ParseError> {
+        self.descend()?;
+        let out = self.ty_rec();
+        self.ascend();
+        out
+    }
+
+    fn ty_rec(&mut self) -> Result<Ty, ParseError> {
         if self.at_kw("fn") {
             self.bump();
             self.expect(TokenKind::LParen, "`(`")?;
@@ -264,6 +361,13 @@ impl Parser {
     // ------------------------------------------------------------ terms
 
     pub(crate) fn term(&mut self) -> Result<Term, ParseError> {
+        self.descend()?;
+        let out = self.term_rec();
+        self.ascend();
+        out
+    }
+
+    fn term_rec(&mut self) -> Result<Term, ParseError> {
         if self.at_kw("lam") {
             self.bump();
             let mut params = Vec::new();

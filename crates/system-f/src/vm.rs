@@ -17,6 +17,8 @@ use std::cell::RefCell;
 use std::fmt;
 use std::rc::Rc;
 
+use telemetry::limits::{Budget, Exhausted};
+
 use crate::{Prim, Symbol, Term};
 
 /// A compiled program: a pool of function bodies; the entry point is
@@ -278,6 +280,8 @@ pub enum VmError {
     CondNotBool,
     /// A variable was not resolvable at compile time.
     UnboundVar(String),
+    /// The shared resource budget ran out (see [`run_budgeted`]).
+    ResourceExhausted(Exhausted),
 }
 
 impl fmt::Display for VmError {
@@ -291,6 +295,7 @@ impl fmt::Display for VmError {
             VmError::BadProjection => write!(f, "invalid tuple projection"),
             VmError::CondNotBool => write!(f, "non-boolean condition"),
             VmError::UnboundVar(x) => write!(f, "unbound variable `{x}`"),
+            VmError::ResourceExhausted(e) => write!(f, "execution stopped: {e}"),
         }
     }
 }
@@ -696,6 +701,51 @@ impl Profiler for Counting {
     }
 }
 
+
+/// Per-instruction resource hook for [`run_inner`], mirroring
+/// [`Profiler`]: the dispatch loop is generic over it, so the ungoverned
+/// path monomorphizes to the unchecked loop at zero cost.
+trait Governor {
+    /// Called once per dispatched instruction; `Err` aborts execution.
+    fn charge(&mut self) -> Result<(), VmError>;
+}
+
+/// The no-op governor behind [`run`] / [`run_profiled`].
+struct Ungoverned;
+
+impl Governor for Ungoverned {
+    #[inline(always)]
+    fn charge(&mut self) -> Result<(), VmError> {
+        Ok(())
+    }
+}
+
+/// Instructions per batched fuel charge in [`Budgeted`]: the atomic
+/// add and deadline poll are amortized over this many dispatches.
+const GOVERNOR_BATCH: u32 = 1024;
+
+/// The budget-enforcing governor behind [`run_budgeted`].
+struct Budgeted<'a> {
+    budget: &'a Budget,
+    /// Instructions until the next batched charge.
+    countdown: u32,
+}
+
+impl Governor for Budgeted<'_> {
+    #[inline]
+    fn charge(&mut self) -> Result<(), VmError> {
+        if self.countdown > 0 {
+            self.countdown -= 1;
+            return Ok(());
+        }
+        self.countdown = GOVERNOR_BATCH - 1;
+        self.budget
+            .charge_fuel(u64::from(GOVERNOR_BATCH))
+            .and_then(|()| self.budget.check_deadline())
+            .map_err(VmError::ResourceExhausted)
+    }
+}
+
 /// Execution counters reported by [`run_profiled`].
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct VmStats {
@@ -730,18 +780,55 @@ impl VmStats {
 /// See [`VmError`]; well-typed programs only fail on `car`/`cdr` of `nil`
 /// or ill-founded recursion.
 pub fn run(program: &Program) -> Result<VmValue, VmError> {
-    run_with(program, &mut NoProfile)
+    run_inner(program, &mut NoProfile, &mut Ungoverned)
 }
 
-/// Runs a compiled program while counting instruction dispatches per
-/// opcode and tracking peak stack depths.
+/// Runs a compiled program against a resource budget: every
+/// [`GOVERNOR_BATCH`] instructions charge batched fuel and re-check the
+/// wall-clock deadline, so divergent bytecode terminates with
+/// [`VmError::ResourceExhausted`].
 ///
 /// # Errors
 ///
-/// Same as [`run`].
-pub fn run_profiled(program: &Program) -> Result<(VmValue, VmStats), VmError> {
+/// Same as [`run`], plus [`VmError::ResourceExhausted`].
+pub fn run_budgeted(program: &Program, budget: &Budget) -> Result<VmValue, VmError> {
+    fault_point(budget)?;
+    let mut gov = Budgeted {
+        budget,
+        countdown: 0,
+    };
+    run_inner(program, &mut NoProfile, &mut gov)
+}
+
+/// Checks the `vm.run` fault-injection point, latching the budget when an
+/// error is injected.
+fn fault_point(budget: &Budget) -> Result<(), VmError> {
+    match telemetry::fault::hit("vm.run") {
+        None => Ok(()),
+        Some(telemetry::fault::FaultMode::Error) => Err(VmError::ResourceExhausted(
+            budget.trip(telemetry::limits::Resource::Injected, 0),
+        )),
+        Some(telemetry::fault::FaultMode::Panic) => panic!("injected fault panic at vm.run"),
+    }
+}
+
+/// [`run_profiled`] under a resource budget: dispatch counts and stack
+/// gauges are collected while divergent bytecode is still cut off.
+///
+/// # Errors
+///
+/// Same as [`run_budgeted`].
+pub fn run_profiled_budgeted(
+    program: &Program,
+    budget: &Budget,
+) -> Result<(VmValue, VmStats), VmError> {
+    fault_point(budget)?;
     let mut prof = Counting::default();
-    let v = run_with(program, &mut prof)?;
+    let mut gov = Budgeted {
+        budget,
+        countdown: 0,
+    };
+    let v = run_inner(program, &mut prof, &mut gov)?;
     Ok((
         v,
         VmStats {
@@ -756,7 +843,34 @@ pub fn run_profiled(program: &Program) -> Result<(VmValue, VmStats), VmError> {
     ))
 }
 
-fn run_with<P: Profiler>(program: &Program, prof: &mut P) -> Result<VmValue, VmError> {
+/// Runs a compiled program while counting instruction dispatches per
+/// opcode and tracking peak stack depths.
+///
+/// # Errors
+///
+/// Same as [`run`].
+pub fn run_profiled(program: &Program) -> Result<(VmValue, VmStats), VmError> {
+    let mut prof = Counting::default();
+    let v = run_inner(program, &mut prof, &mut Ungoverned)?;
+    Ok((
+        v,
+        VmStats {
+            by_opcode: OPCODE_NAMES
+                .iter()
+                .copied()
+                .zip(prof.by_opcode.iter().copied())
+                .collect(),
+            max_frame_depth: prof.max_frame_depth,
+            max_stack_depth: prof.max_stack_depth,
+        },
+    ))
+}
+
+fn run_inner<P: Profiler, G: Governor>(
+    program: &Program,
+    prof: &mut P,
+    gov: &mut G,
+) -> Result<VmValue, VmError> {
     let mut stack: Vec<VmValue> = Vec::new();
     let mut frames = vec![Frame {
         func: 0,
@@ -774,6 +888,7 @@ fn run_with<P: Profiler>(program: &Program, prof: &mut P) -> Result<VmValue, VmE
         let instr = func.code[frame.ip].clone();
         frame.ip += 1;
         prof.dispatch(&instr, frame_depth, stack.len());
+        gov.charge()?;
         match instr {
             Instr::Int(n) => stack.push(VmValue::Int(n)),
             Instr::Bool(b) => stack.push(VmValue::Bool(b)),

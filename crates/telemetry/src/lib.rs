@@ -49,6 +49,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fault;
+pub mod limits;
 pub mod trace;
 
 use std::fmt::Write as _;
