@@ -71,4 +71,27 @@ for p in crates/fg/src/parser.rs crates/system-f/src/parser.rs; do
         || { echo "FAIL: panic site in $p hot path"; exit 1; }
 done
 
+# Grep gate: the congruence encoding hot path (typeeq.rs, between the
+# markers) must stay allocation-free — no format!/String keys on the
+# TyId -> TermId path that PR 4 removed them from.
+awk '/--- begin congruence encoding/{inside=1; next}
+     /--- end congruence encoding/{inside=0}
+     inside && /^[[:space:]]*\/\//{next}
+     inside && /format!|String|to_string|to_owned|push_str/{print FILENAME ":" NR ": " $0; bad=1}
+     END{exit bad}' crates/fg/src/typeeq.rs \
+    || { echo "FAIL: string allocation in the congruence encoding hot path"; exit 1; }
+
+# Perf smoke gate: run the quick benchmark suite twice (scheduler noise
+# only inflates a measurement, so the gate reduces bench-wise to the
+# minimum), validate the committed artifact and both fresh runs against
+# the fg-bench/1 schema, then fail on a >25% per-group geomean
+# regression in the model-lookup and congruence groups relative to the
+# committed quick-mode baseline.
+"$FG" bench-json --quick --out /tmp/fg-ci-bench-1.json 2> /dev/null
+"$FG" bench-json --quick --out /tmp/fg-ci-bench-2.json 2> /dev/null
+python3 tools/bench_gate.py validate BENCH_PR4.json
+python3 tools/bench_gate.py compare tools/bench_baseline_quick.json \
+    /tmp/fg-ci-bench-1.json /tmp/fg-ci-bench-2.json
+rm -f /tmp/fg-ci-bench-1.json /tmp/fg-ci-bench-2.json
+
 echo "ci.sh: all gates passed"

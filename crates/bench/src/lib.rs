@@ -11,6 +11,8 @@
 //! * [`many_models_program`] / C4 — scopes with many models, stressing
 //!   model lookup.
 
+pub mod runner;
+
 use system_f::{Prim, Symbol, Term, Ty};
 
 /// Builds an F_G program whose concept hierarchy is a refinement chain of

@@ -1,0 +1,116 @@
+//! Programmatic driver for the benchmark suite — the engine behind
+//! `fg bench-json`.
+//!
+//! Runs the model-lookup, STL-prelude, and congruence-scaling groups
+//! through [`criterion::measure`] (the same calibrate → warm-up →
+//! median-of-samples loop `cargo bench` uses) and returns the results
+//! as a [`telemetry::BenchReport`] (`fg-bench/1`), so CI can diff runs
+//! without scraping bench stdout.
+
+use std::hint::black_box;
+
+use telemetry::{BenchEntry, BenchReport};
+
+/// Harness name stamped into the report.
+pub const HARNESS: &str = "fg-bench-json";
+
+fn entry(
+    group: &str,
+    id: &str,
+    param: impl ToString,
+    f: impl FnMut(&mut criterion::Bencher),
+) -> BenchEntry {
+    let (iters, total_ns) = criterion::measure(f);
+    BenchEntry {
+        group: group.to_owned(),
+        id: id.to_owned(),
+        param: param.to_string(),
+        iters,
+        total_ns,
+    }
+}
+
+/// Runs the suite and collects the `fg-bench/1` report.
+///
+/// With `quick`, sets `FG_BENCH_QUICK=1` so [`criterion::measure`]
+/// shrinks its warm-up and sample budgets (~30ms per benchmark) — the
+/// CI smoke-gate configuration. Without it the environment is left
+/// alone, so an externally set `FG_BENCH_QUICK` still applies.
+pub fn run_suite(quick: bool) -> BenchReport {
+    if quick {
+        std::env::set_var("FG_BENCH_QUICK", "1");
+    }
+    let mut entries = Vec::new();
+
+    // model_lookup — worst-case (first-declared) member access as the
+    // number of in-scope models grows; mirrors benches/model_lookup.rs.
+    for width in [1usize, 8, 32, 128] {
+        let src = crate::many_models_program(width);
+        let expr = fg::parser::parse_expr(&src).expect("generated program parses");
+        entries.push(entry("model_lookup", "worst_case_access", width, |b| {
+            b.iter(|| fg::check_program(black_box(&expr)).unwrap())
+        }));
+    }
+
+    // stl_prelude — library-scale parse / check+translate / eval.
+    let src = fg::stdlib::with_prelude("accumulate[int](range(1, 10))");
+    entries.push(entry("stl_prelude", "parse", "", |b| {
+        b.iter(|| fg::parser::parse_expr(black_box(&src)).unwrap())
+    }));
+    let expr = fg::parser::parse_expr(&src).expect("prelude parses");
+    entries.push(entry("stl_prelude", "check_translate", "", |b| {
+        b.iter(|| fg::check_program(black_box(&expr)).unwrap())
+    }));
+    let compiled = fg::check_program(&expr).expect("prelude checks");
+    entries.push(entry("stl_prelude", "eval", "", |b| {
+        b.iter(|| system_f::eval(black_box(&compiled.term)).unwrap())
+    }));
+
+    // congruence_scaling — Nelson–Oppen closure vs the naive fixpoint
+    // baseline (capped: it is O(n³)-ish); mirrors
+    // benches/congruence_scaling.rs.
+    for size in [16usize, 64, 256, 1024, 4096] {
+        entries.push(entry("congruence_scaling", "nelson_oppen", size, |b| {
+            b.iter(|| black_box(crate::congruence_chain(black_box(size), false)))
+        }));
+        if size <= 256 {
+            entries.push(entry("congruence_scaling", "naive_baseline", size, |b| {
+                b.iter(|| black_box(crate::congruence_chain(black_box(size), true)))
+            }));
+        }
+    }
+
+    BenchReport {
+        harness: HARNESS.to_owned(),
+        entries,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_suite_produces_a_well_formed_report() {
+        // The width-128 workload nests a few hundred binders; debug
+        // frames overflow the default 2 MiB test-thread stack, so run
+        // the suite on a worker sized like the CLI's.
+        let report = std::thread::Builder::new()
+            .stack_size(256 * 1024 * 1024)
+            .spawn(|| run_suite(true))
+            .expect("spawn bench worker")
+            .join()
+            .expect("suite does not panic");
+        assert_eq!(report.harness, HARNESS);
+        // Every planned benchmark reported, every measurement nonzero.
+        assert_eq!(report.entries.len(), 4 + 3 + 5 + 3);
+        for e in &report.entries {
+            assert!(e.iters >= 1, "{e:?}");
+            assert!(e.total_ns > 0, "{e:?}");
+        }
+        let json = report.to_json();
+        assert!(json.contains("\"schema\": \"fg-bench/1\""), "{json}");
+        assert!(json.contains("worst_case_access"), "{json}");
+        assert!(json.contains("nelson_oppen"), "{json}");
+    }
+}

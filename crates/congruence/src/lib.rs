@@ -179,6 +179,11 @@ pub struct Congruence {
     /// For each term (indexed by id), the parent terms in which it occurs
     /// directly. Only the entry of a class representative is authoritative.
     use_list: Vec<Vec<TermId>>,
+    /// For each term (indexed by id), the members of its equivalence
+    /// class. Only the entry of a class representative is authoritative;
+    /// losers' lists are drained into the winner on union, so enumerating
+    /// a class is O(class size) instead of O(term bank).
+    members: Vec<Vec<TermId>>,
     /// Signature table: (op, canonical children) -> some term with that
     /// signature. Rebuilt lazily during merges.
     sigs: HashMap<Node, TermId>,
@@ -297,6 +302,7 @@ impl Congruence {
         self.hashcons.insert(node, id);
         self.uf.push();
         self.use_list.push(Vec::new());
+        self.members.push(vec![id]);
         for &c in children {
             let rc = self.find(c);
             self.use_list[rc.index()].push(id);
@@ -368,7 +374,9 @@ impl Congruence {
             };
             // Detach the smaller class's parents before re-canonicalizing.
             let moved = std::mem::take(&mut self.use_list[small.index()]);
+            let mut absorbed = std::mem::take(&mut self.members[small.index()]);
             self.uf.union_into(small.index(), big.index());
+            self.members[big.index()].append(&mut absorbed);
             if self.log_unions {
                 self.union_log.push(UnionStep {
                     a: x,
@@ -423,6 +431,18 @@ impl Congruence {
             op: node.op,
             children: node.children.iter().map(|&c| self.find(c)).collect(),
         }
+    }
+
+    /// The members of `t`'s equivalence class, in no particular order.
+    ///
+    /// Maintained incrementally by unions, so this is O(class size) — the
+    /// whole point of the maintained lists is that callers scanning a
+    /// class (e.g. the typechecker picking a representative) no longer
+    /// touch the entire term bank. Sort the result if a deterministic
+    /// order is needed.
+    pub fn class_members(&self, t: TermId) -> &[TermId] {
+        let r = self.uf.find_no_compress(t.index());
+        &self.members[r]
     }
 
     /// Enumerates the current equivalence classes as sorted vectors of term
@@ -590,6 +610,32 @@ mod tests {
         cc.merge(a, b);
         assert_eq!(cc.find(a), cc.find(b));
         assert_eq!(cc.find_no_compress(a), cc.find_no_compress(b));
+    }
+
+    #[test]
+    fn class_members_track_unions_and_match_classes() {
+        let mut cc = Congruence::new();
+        let a = cc.constant(Op(0));
+        let b = cc.constant(Op(1));
+        let c = cc.constant(Op(2));
+        let fa = cc.term(f(), &[a]);
+        let fb = cc.term(f(), &[b]);
+        // Singletons to start with.
+        assert_eq!(cc.class_members(a), &[a]);
+        cc.merge(a, b); // congruence also unions fa/fb
+        let mut cls: Vec<TermId> = cc.class_members(a).to_vec();
+        cls.sort();
+        assert_eq!(cls, vec![a, b]);
+        let mut fcls: Vec<TermId> = cc.class_members(fb).to_vec();
+        fcls.sort();
+        assert_eq!(fcls, vec![fa, fb]);
+        assert_eq!(cc.class_members(c), &[c]);
+        // The maintained lists agree with the O(n) enumeration.
+        for class in cc.classes() {
+            let mut got = cc.class_members(class[0]).to_vec();
+            got.sort();
+            assert_eq!(got, class);
+        }
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! fg direct <file.fg>...    evaluate with the direct interpreter
 //! fg explain <file.fg>...   explain model resolution and type equalities
 //! fg ast <file.fg>...       print the parsed AST (debug form)
+//! fg bench-json             run the benchmark suite, emit fg-bench/1 JSON
 //! ```
 //!
 //! Pass `-` as the file to read from stdin, or `--prelude` before the
@@ -86,7 +87,8 @@ fn usage() -> u8 {
         "usage: fg [--prelude] [--profile] [--metrics-json <path>] [--trace <path>] [--trace-chrome <path>]\n\
          \x20         [--fuel <n>] [--max-depth <n>] [--max-terms <n>] [--max-dict-nodes <n>] [--timeout-ms <n>]\n\
          \x20         [--inject-fault <spec>]\n\
-         \x20         <check|translate|run|direct|elaborate|explain|vm|bytecode|fmt|ast> <file.fg|->...  |  fg [--prelude] repl\n\
+         \x20         <check|translate|run|direct|elaborate|explain|vm|bytecode|fmt|ast> <file.fg|->...\n\
+         \x20  |  fg [--prelude] repl  |  fg bench-json [--quick] [--out <path>]\n\
          \n\
          check      typecheck and print the F_G type\n\
          translate  print the dictionary-passing System F translation\n\
@@ -99,6 +101,7 @@ fn usage() -> u8 {
          fmt        reformat the program\n\
          ast        print the parsed AST\n\
          repl       interactive session (no file argument)\n\
+         bench-json run the benchmark suite, write an fg-bench/1 report\n\
          \n\
          --prelude             wrap the program in the stdlib prelude\n\
          --profile             print phase timings and counters to stderr\n\
@@ -235,6 +238,9 @@ fn real_main() -> u8 {
             }
         }
     }
+    if args.first().map(String::as_str) == Some("bench-json") {
+        return bench_json(&args[1..]);
+    }
     if args.as_slice() == ["repl"] {
         let stdin = std::io::stdin();
         return match repl::run_repl(stdin.lock(), std::io::stdout(), flags.use_prelude, flags.limits()) {
@@ -265,6 +271,64 @@ fn real_main() -> u8 {
         worst = worst.max(run_file(cmd, path, &flags));
     }
     worst
+}
+
+/// `fg bench-json [--quick] [--out <path>]` — runs the benchmark suite
+/// in-process and writes the `fg-bench/1` JSON report to `--out`
+/// (default stdout). `--quick` shrinks the measurement budgets for CI
+/// smoke runs; progress goes to stderr so stdout stays machine-readable.
+fn bench_json(args: &[String]) -> u8 {
+    let mut quick = false;
+    let mut out: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => quick = true,
+            "--out" => {
+                let Some(path) = args.get(i + 1) else {
+                    eprintln!("fg: --out needs an argument");
+                    return usage();
+                };
+                out = Some(path.clone());
+                i += 1;
+            }
+            other => {
+                eprintln!("fg: bench-json: unknown argument `{other}`");
+                return usage();
+            }
+        }
+        i += 1;
+    }
+    eprintln!(
+        "fg: running benchmark suite ({} mode)...",
+        if quick { "quick" } else { "full" }
+    );
+    let report = bench::runner::run_suite(quick);
+    for e in &report.entries {
+        eprintln!(
+            "  {:<50} {:>12} ns/iter (n={})",
+            format!("{}/{}{}{}", e.group, e.id, if e.param.is_empty() { "" } else { "/" }, e.param),
+            e.mean_ns(),
+            e.iters,
+        );
+    }
+    let json = report.to_json();
+    match out.as_deref() {
+        None | Some("-") => {
+            print!("{json}");
+            0
+        }
+        Some(path) => match std::fs::write(path, json) {
+            Ok(()) => {
+                eprintln!("fg: wrote {path}");
+                0
+            }
+            Err(e) => {
+                eprintln!("fg: cannot write {path}: {e}");
+                EXIT_DIAGNOSTIC
+            }
+        },
+    }
 }
 
 /// Runs one file on a dedicated worker thread, translating a panic into
@@ -498,6 +562,17 @@ fn record_check_stats(metrics: &mut Metrics, compiled: &fg::Compiled) {
         ("dict_instantiations", cs.dict_instantiations),
     ] {
         metrics.set_counter("check", key, value);
+    }
+    let is = compiled.intern_stats;
+    for (key, value) in [
+        ("hits", is.hits),
+        ("misses", is.misses),
+        ("subst_hits", is.subst_hits),
+        ("subst_misses", is.subst_misses),
+        ("arena_types", is.arena_types),
+        ("arena_constraints", is.arena_constraints),
+    ] {
+        metrics.set_counter("intern", key, value);
     }
     let ts = compiled.type_eq_stats;
     for (key, value) in [

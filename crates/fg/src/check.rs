@@ -35,7 +35,7 @@ use telemetry::trace::{SpanId, Tracer};
 use crate::ast::{ConceptDecl, ConceptItem, Constraint, Expr, ExprKind, FgTy, ModelDecl, ModelItem};
 use crate::concepts::{ConceptInfo, ConceptTable, MemberSig};
 use crate::error::{CheckError, ErrorKind};
-use crate::rty::{subst, ConceptId, RConstraint, RTy};
+use crate::rty::{subst, ConceptId, InternStats, RConstraint, RTy, TyId};
 use crate::typeeq::{TypeEq, TypeEqStats};
 use system_f::lexer::Span;
 
@@ -57,6 +57,9 @@ pub struct Compiled {
     /// Congruence-closure counters (queries, unions, finds, term-bank
     /// peak) accumulated while checking.
     pub type_eq_stats: TypeEqStats,
+    /// Hash-consing interner counters (hit/miss, substitution cache,
+    /// arena sizes) accumulated while checking.
+    pub intern_stats: InternStats,
 }
 
 /// Counters describing the work a [`Checker`] performed. Monotonic over
@@ -73,8 +76,9 @@ pub struct CheckStats {
     /// Lookups that found none (also counts lookups abandoned at the
     /// recursion depth limit).
     pub model_misses: u64,
-    /// Scope entries examined across all lookups (the inner scan is
-    /// newest-first over every model in scope).
+    /// Same-concept scope entries examined across all lookups (the
+    /// inner scan is newest-first over the queried concept's index
+    /// bucket; entries of other concepts are never touched).
     pub candidates_scanned: u64,
     /// Deepest model scope observed at any lookup (gauge, in entries).
     pub max_scope_depth: u64,
@@ -82,6 +86,26 @@ pub struct CheckStats {
     pub dicts_built: u64,
     /// Parameterized dictionary constructors instantiated at use sites.
     pub dict_instantiations: u64,
+}
+
+impl CheckStats {
+    /// The counters accumulated since `base` was captured from the same
+    /// checker; the `max_scope_depth` gauge carries the observed peak.
+    pub fn delta_since(&self, base: &CheckStats) -> CheckStats {
+        CheckStats {
+            model_lookups: self.model_lookups.saturating_sub(base.model_lookups),
+            model_hits: self.model_hits.saturating_sub(base.model_hits),
+            model_misses: self.model_misses.saturating_sub(base.model_misses),
+            candidates_scanned: self
+                .candidates_scanned
+                .saturating_sub(base.candidates_scanned),
+            max_scope_depth: self.max_scope_depth,
+            dicts_built: self.dicts_built.saturating_sub(base.dicts_built),
+            dict_instantiations: self
+                .dict_instantiations
+                .saturating_sub(base.dict_instantiations),
+        }
+    }
 }
 
 /// Typechecks a closed F_G program and translates it to System F.
@@ -141,12 +165,23 @@ pub fn check_program_budgeted(
         let (ty, term, elaborated) = checker.check_elab(e)?;
         return Ok(compiled(checker, ty, term, elaborated));
     }
+    // Deep programs need the big stack. Shipping each check to the
+    // persistent worker beats spawning a thread per call twice over:
+    // the spawn itself costs tens of microseconds, and a freshly
+    // spawned thread runs the whole check on cold stack pages and a
+    // cold malloc arena (~2× slower end to end on declaration-heavy
+    // programs). The worker is busy only when another thread is deep-
+    // checking concurrently; then we pay for a dedicated thread as
+    // before.
+    if let Some(result) = check_on_deep_worker(e, &tracer, &budget) {
+        return result;
+    }
     std::thread::scope(|scope| {
         let tracer = tracer.clone();
         let budget = budget.clone();
         let handle = std::thread::Builder::new()
             .name("fg-checker".to_owned())
-            .stack_size(64 * 1024 * 1024)
+            .stack_size(CHECKER_STACK_BYTES)
             .spawn_scoped(scope, move || {
                 let mut checker = Checker::new();
                 checker.set_tracer(tracer);
@@ -164,6 +199,91 @@ pub fn check_program_budgeted(
     })
 }
 
+/// Stack reserve for deep-program checking (the checker recurses once
+/// per nested expression; library-sized programs are a single deeply
+/// right-nested expression).
+const CHECKER_STACK_BYTES: usize = 64 * 1024 * 1024;
+
+/// A unit of work shipped to the persistent deep-checker thread: the
+/// (owned) inputs of one check plus the channel the worker answers on.
+/// The answer is double-wrapped so a checker panic comes back as a
+/// payload rather than killing the worker.
+struct DeepJob {
+    e: Expr,
+    tracer: Tracer,
+    budget: Arc<Budget>,
+    done: std::sync::mpsc::SyncSender<std::thread::Result<Result<Compiled, CheckError>>>,
+}
+
+/// The persistent big-stack worker, spawned on first use. `None` when
+/// the spawn failed (callers fall back to a per-check thread). The
+/// mutex serializes submissions; concurrent deep checks skip the worker
+/// via `try_lock` rather than queue behind it.
+fn deep_worker() -> Option<&'static std::sync::Mutex<std::sync::mpsc::Sender<DeepJob>>> {
+    use std::sync::{mpsc, Mutex, OnceLock};
+    static WORKER: OnceLock<Option<Mutex<mpsc::Sender<DeepJob>>>> = OnceLock::new();
+    WORKER
+        .get_or_init(|| {
+            let (tx, rx) = mpsc::channel::<DeepJob>();
+            std::thread::Builder::new()
+                .name("fg-checker".to_owned())
+                .stack_size(CHECKER_STACK_BYTES)
+                .spawn(move || {
+                    while let Ok(job) = rx.recv() {
+                        let DeepJob { e, tracer, budget, done } = job;
+                        let outcome =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+                                let mut checker = Checker::new();
+                                checker.set_tracer(tracer);
+                                checker.set_budget(budget);
+                                checker.check_elab(&e).map(|(ty, term, elaborated)| {
+                                    compiled(checker, ty, term, elaborated)
+                                })
+                            }));
+                        let _ = done.send(outcome);
+                    }
+                })
+                .ok()
+                .map(|_| Mutex::new(tx))
+        })
+        .as_ref()
+}
+
+/// Runs a deep check on the persistent worker thread. Returns `None`
+/// when the worker is unavailable (spawn failed, lock poisoned, or
+/// another thread is mid-check) — the caller then uses a dedicated
+/// thread instead.
+fn check_on_deep_worker(
+    e: &Expr,
+    tracer: &Tracer,
+    budget: &Arc<Budget>,
+) -> Option<Result<Compiled, CheckError>> {
+    let worker = deep_worker()?;
+    let Ok(tx) = worker.try_lock() else {
+        return None;
+    };
+    let (done_tx, done_rx) = std::sync::mpsc::sync_channel(1);
+    let job = DeepJob {
+        e: e.clone(),
+        tracer: tracer.clone(),
+        budget: budget.clone(),
+        done: done_tx,
+    };
+    if tx.send(job).is_err() {
+        // Worker thread is gone; fall back to a dedicated thread.
+        return None;
+    }
+    let outcome = done_rx.recv();
+    drop(tx);
+    match outcome {
+        Ok(Ok(result)) => Some(result),
+        Ok(Err(payload)) => Some(Err(panic_to_error(&*payload))),
+        // Disconnected without an answer: the worker died before
+        // answering; re-check on a dedicated thread.
+        Err(_) => None,
+    }
+}
+
 /// Wraps a budget-exhaustion record as a spanned check error.
 fn exhausted_err(x: Exhausted, phase: &'static str, span: Span) -> CheckError {
     CheckError::new(ErrorKind::ResourceExhausted { exhausted: x, phase }, span)
@@ -176,6 +296,7 @@ fn compiled(checker: Checker, ty: RTy, term: Term, elaborated: Expr) -> Compiled
         elaborated,
         check_stats: checker.stats(),
         type_eq_stats: checker.type_eq_stats(),
+        intern_stats: checker.intern_stats(),
     }
 }
 
@@ -311,6 +432,52 @@ pub struct ResolvedModel {
 /// `model forall t where C<list t>. C<t>`).
 const LOOKUP_DEPTH_LIMIT: usize = 32;
 
+/// The head constructor of a model entry's (or query's) first type
+/// argument, precomputed into the per-concept model index so lookups
+/// can skip entries that cannot possibly match before the comparatively
+/// expensive equality / pattern-match machinery runs. `Flex` marks
+/// heads that may match anything — type variables, associated-type
+/// projections (normalization can rewrite them to any constructor), and
+/// empty argument lists — so pruning is only ever a sound
+/// "rigid head vs different rigid head" rejection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum HeadKey {
+    Flex,
+    Int,
+    Bool,
+    List,
+    Fn(usize),
+    Forall,
+}
+
+impl HeadKey {
+    fn compatible(self, other: HeadKey) -> bool {
+        self == HeadKey::Flex || other == HeadKey::Flex || self == other
+    }
+}
+
+/// The head key of an argument list's first element.
+fn head_key(args: &[RTy]) -> HeadKey {
+    match args.first() {
+        None | Some(RTy::Var(_)) | Some(RTy::Assoc { .. }) => HeadKey::Flex,
+        Some(RTy::Int) => HeadKey::Int,
+        Some(RTy::Bool) => HeadKey::Bool,
+        Some(RTy::List(_)) => HeadKey::List,
+        Some(RTy::Fn(ps, _)) => HeadKey::Fn(ps.len()),
+        Some(RTy::Forall { .. }) => HeadKey::Forall,
+    }
+}
+
+/// A memoized where-clause discharge: the resolved outcome plus the
+/// stat deltas the original computation accumulated, replayed on a hit
+/// so the final counters match a run without the memo table.
+#[derive(Debug, Clone)]
+struct MemoHit {
+    result: Option<ResolvedModel>,
+    check_delta: CheckStats,
+    teq_delta: TypeEqStats,
+}
+
 /// A checkpoint of the checker's lexical environment.
 struct Saved {
     vars: usize,
@@ -370,6 +537,24 @@ pub struct Checker {
     ty_vars: Vec<(Symbol, Option<RTy>)>,
     concept_names: Vec<(Symbol, ConceptId)>,
     models: Vec<ModelEntry>,
+    /// Per-concept index into `models`: entry indices (ascending, so a
+    /// reverse walk is newest-first) with the precomputed head
+    /// constructor of each entry's first argument. Maintained by
+    /// [`Checker::push_model`] and truncated by [`Checker::restore`].
+    model_index: HashMap<ConceptId, Vec<(u32, HeadKey)>>,
+    /// Bumped on every model-scope push and on every restore that pops
+    /// models; [`Checker::memo_validate`] discards the where-clause memo
+    /// wholesale when the generation (or the equality state) moves.
+    scope_gen: u64,
+    /// Where-clause discharge memo, keyed by the interned constraint
+    /// arguments plus the re-entrancy depth (the depth limit makes
+    /// outcomes depth-dependent). Every entry is valid exactly at
+    /// `memo_stamp`; see [`Checker::resolve_model_at`] for why a hit is
+    /// observationally identical to re-running the lookup.
+    resolve_memo: HashMap<(ConceptId, Vec<TyId>, bool, usize), MemoHit>,
+    /// The (scope generation, `TypeEq` state stamp) at which every entry
+    /// in `resolve_memo` is valid.
+    memo_stamp: (u64, (u64, u64, usize, usize)),
     teq: TypeEq,
     /// While resolving a concept declaration's own items: its name, params
     /// and associated types, so self-projections `C<t̄>.s` resolve to `s`.
@@ -444,6 +629,59 @@ impl Checker {
         self.teq.stats()
     }
 
+    /// Hash-consing interner counters accumulated so far (shared arena:
+    /// scope clones all report the same figures).
+    pub fn intern_stats(&self) -> InternStats {
+        self.teq.intern_stats()
+    }
+
+    /// Pushes a model entry, keeping the per-concept index in sync and
+    /// bumping the scope generation (which lazily invalidates the
+    /// where-clause memo).
+    fn push_model(&mut self, entry: ModelEntry) {
+        let idx = self.models.len() as u32;
+        self.model_index
+            .entry(entry.concept)
+            .or_default()
+            .push((idx, head_key(&entry.args)));
+        self.scope_gen += 1;
+        self.models.push(entry);
+    }
+
+    /// Clears the where-clause memo unless the world it was computed in
+    /// — the model scope and the whole equality state (term bank,
+    /// unions, assertions, bans) — is bit-identical to now.
+    fn memo_validate(&mut self) {
+        let cur = (self.scope_gen, self.teq.state_stamp());
+        if cur != self.memo_stamp {
+            self.resolve_memo.clear();
+            self.memo_stamp = cur;
+        }
+    }
+
+    /// Folds a memoized computation's counter delta back into the live
+    /// stats (counters add; the scope-depth gauge maxes).
+    fn replay_stats(&mut self, d: CheckStats) {
+        self.stats.model_lookups += d.model_lookups;
+        self.stats.model_hits += d.model_hits;
+        self.stats.model_misses += d.model_misses;
+        self.stats.candidates_scanned += d.candidates_scanned;
+        self.stats.max_scope_depth = self.stats.max_scope_depth.max(d.max_scope_depth);
+        self.stats.dicts_built += d.dicts_built;
+        self.stats.dict_instantiations += d.dict_instantiations;
+    }
+
+    /// Head pruning is only sound while no equalities are in play (an
+    /// asserted `int == bool` can equate distinct rigid heads) and only
+    /// invisible while no tracer wants the per-candidate event stream.
+    fn head_prune_ok(&self) -> bool {
+        if self.tracer.is_enabled() {
+            return false;
+        }
+        let (_terms, unions, asserted, banned) = self.teq.state_stamp();
+        unions == 0 && asserted == 0 && banned == 0
+    }
+
     fn save(&mut self) -> Saved {
         Saved {
             vars: self.vars.len(),
@@ -458,7 +696,18 @@ impl Checker {
         self.vars.truncate(saved.vars);
         self.ty_vars.truncate(saved.ty_vars);
         self.concept_names.truncate(saved.concept_names);
-        self.models.truncate(saved.models);
+        // Pop models newest-first so the per-concept index (whose bucket
+        // tails are exactly the popped entries) shrinks in lock-step.
+        if self.models.len() > saved.models {
+            while self.models.len() > saved.models {
+                if let Some(e) = self.models.pop() {
+                    if let Some(bucket) = self.model_index.get_mut(&e.concept) {
+                        bucket.pop();
+                    }
+                }
+            }
+            self.scope_gen += 1;
+        }
         // Replacing `teq` with the saved clone discards the scope's
         // equalities — but not the record of the work done in it: fold
         // the discarded scope's counters back in so stats stay
@@ -885,7 +1134,7 @@ impl Checker {
                 )
             })
             .collect();
-        self.models.push(ModelEntry {
+        self.push_model(ModelEntry {
             concept: plan.concept,
             args: plan.args.clone(),
             dict,
@@ -980,10 +1229,16 @@ impl Checker {
         args: &[RTy],
         name: Symbol,
     ) -> Option<RTy> {
-        for i in (0..self.models.len()).rev() {
-            let entry = self.models[i].clone();
-            if entry.concept != cid
-                || entry.args.len() != args.len()
+        let bucket: Vec<(u32, HeadKey)> =
+            self.model_index.get(&cid).cloned().unwrap_or_default();
+        let prune = self.head_prune_ok();
+        let qhead = head_key(args);
+        for &(idx, ehead) in bucket.iter().rev() {
+            if prune && !ehead.compatible(qhead) {
+                continue;
+            }
+            let entry = self.models[idx as usize].clone();
+            if entry.args.len() != args.len()
                 || entry.params.is_empty()
                 || entry.under_construction.is_some()
             {
@@ -1187,6 +1442,34 @@ impl Checker {
             });
             return None;
         }
+        // Where-clause discharge memo: repeated constraint lookups at an
+        // unchanged (model scope, equality state) are answered from
+        // cache. A hit is observationally identical to re-running the
+        // lookup: the stamp pins every input the computation reads
+        // (models via `scope_gen`, the congruence term bank / unions /
+        // assertions / bans via the `TypeEq` stamp, recursion depth via
+        // the key), so a re-run could only replay hash-cons and
+        // encode-cache hits and return the same value. Tracing and fault
+        // injection disable the memo so event streams and fault visit
+        // counts stay complete.
+        let memo_key = if site == "constraint" && !self.tracer.is_enabled() && !fault::armed() {
+            let interner = self.teq.interner();
+            let key_args: Vec<TyId> = args.iter().map(|a| interner.intern(a)).collect();
+            Some((cid, key_args, allow_uc, self.busy))
+        } else {
+            None
+        };
+        if let Some(key) = &memo_key {
+            self.memo_validate();
+            if let Some(hit) = self.resolve_memo.get(key) {
+                let hit = hit.clone();
+                self.replay_stats(hit.check_delta);
+                self.teq.absorb_scope(hit.teq_delta);
+                return hit.result;
+            }
+        }
+        let cs_before = self.stats;
+        let ts_before = self.teq.stats();
         let sp = self.tracer.begin_with("model_resolve", || {
             vec![
                 ("concept", self.concepts.name(cid).to_string().into()),
@@ -1209,6 +1492,18 @@ impl Checker {
                 if out.is_some() { "hit" } else { "miss" }.into(),
             )],
         );
+        if let Some(key) = memo_key {
+            let hit = MemoHit {
+                result: out.clone(),
+                check_delta: self.stats.delta_since(&cs_before),
+                teq_delta: self.teq.stats().delta_since(&ts_before),
+            };
+            // The computation itself may have grown the equality state;
+            // re-validate so the entry is stored against the stamp it is
+            // actually valid at.
+            self.memo_validate();
+            self.resolve_memo.insert(key, hit);
+        }
         out
     }
 
@@ -1285,10 +1580,21 @@ impl Checker {
     ) -> Option<ResolvedModel> {
         let _ = sp;
         let nargs: Vec<RTy> = args.iter().map(|a| self.norm(a)).collect();
-        for i in (0..self.models.len()).rev() {
+        // Snapshot of the concept's index bucket: nested resolution may
+        // push models mid-scan, and the old full scan likewise iterated
+        // over the scope length captured at loop entry.
+        let bucket: Vec<(u32, HeadKey)> =
+            self.model_index.get(&cid).cloned().unwrap_or_default();
+        let prune = self.head_prune_ok();
+        let qhead = head_key(&nargs);
+        for &(idx, ehead) in bucket.iter().rev() {
+            let i = idx as usize;
             self.stats.candidates_scanned += 1;
+            if prune && !ehead.compatible(qhead) {
+                continue;
+            }
             let entry = self.models[i].clone();
-            if entry.concept != cid || entry.args.len() != nargs.len() {
+            if entry.args.len() != nargs.len() {
                 continue;
             }
             // From here on the entry is a real candidate: same concept,
@@ -2467,7 +2773,7 @@ impl Checker {
                     // the body see the under-construction model so it can
                     // use earlier members via `C<t̄>.x`.
                     let saved = self.save();
-                    self.models.push(ModelEntry {
+                    self.push_model(ModelEntry {
                         concept: cid,
                         args: args.clone(),
                         dict: dict_name,
@@ -2605,7 +2911,7 @@ impl Checker {
                     self.teq.assert_eq(&proj, t);
                 }
             }
-            self.models.push(ModelEntry {
+            self.push_model(ModelEntry {
                 concept: cid,
                 args: args.clone(),
                 dict: dict_name,
@@ -2728,7 +3034,9 @@ mod tests {
         let cs = compiled.check_stats;
         assert!(cs.model_lookups > 0, "{cs:?}");
         assert_eq!(cs.model_lookups, cs.model_hits + cs.model_misses, "{cs:?}");
-        assert!(cs.candidates_scanned >= cs.model_lookups, "{cs:?}");
+        // Every hit examined at least one same-concept index entry
+        // (misses on concepts with no models in scope scan nothing).
+        assert!(cs.candidates_scanned >= cs.model_hits, "{cs:?}");
         assert_eq!(cs.dicts_built, 1, "{cs:?}");
         assert!(cs.max_scope_depth >= 1, "{cs:?}");
         // The congruence work happens inside the biglam's saved/restored

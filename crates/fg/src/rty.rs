@@ -8,10 +8,14 @@
 //! producing the `RTy` form used by type equality, model lookup, and the
 //! translation to System F.
 
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::fmt;
+use std::rc::Rc;
+use std::sync::Arc;
 
 use system_f::Symbol;
+use telemetry::limits::Budget;
 
 /// A resolved reference to a concept declaration.
 ///
@@ -270,6 +274,677 @@ pub fn subst_constraint(c: &RConstraint, map: &HashMap<Symbol, RTy>) -> RConstra
     }
 }
 
+/// A handle to an interned type node in a [`TyInterner`] arena.
+///
+/// Two handles from the same interner are equal exactly when the types
+/// they denote are structurally equal (`RTy::eq`), so comparing `TyId`s
+/// is an O(1) replacement for deep tree comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TyId(u32);
+
+impl TyId {
+    /// The arena index of this handle.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Rebuilds a handle from [`TyId::index`]. The caller promises the
+    /// index came from the same interner.
+    pub fn from_raw_index(i: usize) -> TyId {
+        TyId(u32::try_from(i).expect("interner arena exceeds u32 indices"))
+    }
+}
+
+/// A handle to an interned constraint node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CtId(u32);
+
+/// A handle to an interned substitution (a sorted `Symbol → TyId` map).
+///
+/// Equal ids denote equal maps, so `(TyId, SubstId)` is an exact — not
+/// fingerprinted — key for the substitution cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SubstId(u32);
+
+/// One interned type node: children are handles, not boxes.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum TyNode {
+    /// A type variable.
+    Var(Symbol),
+    /// `int`.
+    Int,
+    /// `bool`.
+    Bool,
+    /// `list τ`.
+    List(TyId),
+    /// `fn(τ̄) -> τ`.
+    Fn(Box<[TyId]>, TyId),
+    /// `forall t̄ where …. τ`.
+    Forall {
+        /// Bound type variables.
+        vars: Box<[Symbol]>,
+        /// Interned `where` clause.
+        constraints: Box<[CtId]>,
+        /// Body.
+        body: TyId,
+    },
+    /// An associated-type projection `C<τ̄>.s`.
+    Assoc {
+        /// The resolved concept.
+        concept: ConceptId,
+        /// The concept's (source) name, kept for display only — but part
+        /// of the hash-cons key, so `TyId` equality stays exactly
+        /// `RTy::eq` (which compares the name too).
+        concept_name: Symbol,
+        /// Type arguments.
+        args: Box<[TyId]>,
+        /// The associated type's name.
+        name: Symbol,
+    },
+}
+
+/// One interned constraint node.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum CtNode {
+    /// A concept requirement `C<τ̄>`.
+    Model {
+        /// The resolved concept.
+        concept: ConceptId,
+        /// The concept's (source) name, for display.
+        concept_name: Symbol,
+        /// Type arguments.
+        args: Box<[TyId]>,
+    },
+    /// A same-type constraint `τ == τ′`.
+    SameTy(TyId, TyId),
+}
+
+/// Metadata precomputed bottom-up when a node is interned, so the
+/// tree-walking queries (`size`, `is_first_order`, `has_assoc`,
+/// `free_vars`) become O(1) field reads.
+#[derive(Debug, Clone)]
+struct TyMeta {
+    size: u32,
+    first_order: bool,
+    has_assoc: bool,
+    /// Free variables in first-occurrence order — the same order
+    /// [`RTy::free_vars`] produces.
+    free_vars: Rc<[Symbol]>,
+}
+
+/// Counters for the interner, reported as the `intern.*` metrics group.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InternStats {
+    /// Hash-cons lookups that found an existing node.
+    pub hits: u64,
+    /// Hash-cons lookups that allocated a fresh node.
+    pub misses: u64,
+    /// Substitution-cache hits.
+    pub subst_hits: u64,
+    /// Substitution-cache misses (substitutions actually computed).
+    pub subst_misses: u64,
+    /// Current number of type nodes in the arena.
+    pub arena_types: u64,
+    /// Current number of constraint nodes in the arena.
+    pub arena_constraints: u64,
+}
+
+#[derive(Debug, Default)]
+struct Store {
+    nodes: Vec<TyNode>,
+    meta: Vec<TyMeta>,
+    hashcons: HashMap<TyNode, TyId>,
+    cnodes: Vec<CtNode>,
+    chashcons: HashMap<CtNode, CtId>,
+    substs: Vec<Rc<[(Symbol, TyId)]>>,
+    subst_ids: HashMap<Rc<[(Symbol, TyId)]>, SubstId>,
+    subst_cache: HashMap<(TyId, SubstId), TyId>,
+    csubst_cache: HashMap<(CtId, SubstId), CtId>,
+    stats: InternStats,
+    budget: Option<Arc<Budget>>,
+}
+
+impl Store {
+    fn mk(&mut self, node: TyNode) -> TyId {
+        if let Some(&id) = self.hashcons.get(&node) {
+            self.stats.hits += 1;
+            return id;
+        }
+        self.stats.misses += 1;
+        // Arena growth is resource-governed: hash-consing must not be a
+        // way to allocate unbounded term graphs past the PR-3 caps, so
+        // every fresh node charges the same meter as a congruence term.
+        // The charge is sticky inside the budget; callers poll `ok()`.
+        if let Some(b) = &self.budget {
+            let _ = b.charge_cc_term();
+        }
+        let meta = self.meta_for(&node);
+        let id = TyId(u32::try_from(self.nodes.len()).expect("interner arena overflow"));
+        self.nodes.push(node.clone());
+        self.meta.push(meta);
+        self.hashcons.insert(node, id);
+        self.stats.arena_types = self.nodes.len() as u64;
+        id
+    }
+
+    fn mkc(&mut self, node: CtNode) -> CtId {
+        if let Some(&id) = self.chashcons.get(&node) {
+            self.stats.hits += 1;
+            return id;
+        }
+        self.stats.misses += 1;
+        if let Some(b) = &self.budget {
+            let _ = b.charge_cc_term();
+        }
+        let id = CtId(u32::try_from(self.cnodes.len()).expect("interner arena overflow"));
+        self.cnodes.push(node.clone());
+        self.chashcons.insert(node, id);
+        self.stats.arena_constraints = self.cnodes.len() as u64;
+        id
+    }
+
+    /// Bottom-up metadata: children are already interned, so their
+    /// metadata is a field read.
+    fn meta_for(&self, node: &TyNode) -> TyMeta {
+        let mut fvs: Vec<Symbol> = Vec::new();
+        let push_fvs = |fvs: &mut Vec<Symbol>, child: TyId, meta: &[TyMeta]| {
+            for v in meta[child.index()].free_vars.iter() {
+                if !fvs.contains(v) {
+                    fvs.push(*v);
+                }
+            }
+        };
+        match node {
+            TyNode::Var(v) => TyMeta {
+                size: 1,
+                first_order: true,
+                has_assoc: false,
+                free_vars: Rc::from(vec![*v]),
+            },
+            TyNode::Int | TyNode::Bool => TyMeta {
+                size: 1,
+                first_order: true,
+                has_assoc: false,
+                free_vars: Rc::from(Vec::new()),
+            },
+            TyNode::List(t) => {
+                let m = &self.meta[t.index()];
+                TyMeta {
+                    size: 1 + m.size,
+                    first_order: m.first_order,
+                    has_assoc: m.has_assoc,
+                    free_vars: Rc::clone(&m.free_vars),
+                }
+            }
+            TyNode::Fn(ps, r) => {
+                let mut size = 1u32;
+                let mut first_order = true;
+                let mut has_assoc = false;
+                for &p in ps.iter().chain(std::iter::once(r)) {
+                    let m = &self.meta[p.index()];
+                    size = size.saturating_add(m.size);
+                    first_order &= m.first_order;
+                    has_assoc |= m.has_assoc;
+                }
+                for &p in ps.iter() {
+                    push_fvs(&mut fvs, p, &self.meta);
+                }
+                push_fvs(&mut fvs, *r, &self.meta);
+                TyMeta {
+                    size,
+                    first_order,
+                    has_assoc,
+                    free_vars: Rc::from(fvs),
+                }
+            }
+            TyNode::Forall {
+                vars,
+                constraints,
+                body,
+            } => {
+                let mut size = 1u32;
+                let mut has_assoc = false;
+                // Constraints first, then the body: the same traversal
+                // order as `RTy::free_vars_into`, so first-occurrence
+                // order matches the tree implementation exactly.
+                for &c in constraints.iter() {
+                    match &self.cnodes[c.0 as usize] {
+                        CtNode::Model { args, .. } => {
+                            size = size.saturating_add(1);
+                            for &a in args.iter() {
+                                let m = &self.meta[a.index()];
+                                size = size.saturating_add(m.size);
+                                has_assoc |= m.has_assoc;
+                                push_fvs(&mut fvs, a, &self.meta);
+                            }
+                        }
+                        CtNode::SameTy(a, b) => {
+                            size = size.saturating_add(1);
+                            for &t in [a, b] {
+                                let m = &self.meta[t.index()];
+                                size = size.saturating_add(m.size);
+                                has_assoc |= m.has_assoc;
+                                push_fvs(&mut fvs, t, &self.meta);
+                            }
+                        }
+                    }
+                }
+                let bm = &self.meta[body.index()];
+                size = size.saturating_add(bm.size);
+                has_assoc |= bm.has_assoc;
+                push_fvs(&mut fvs, *body, &self.meta);
+                fvs.retain(|v| !vars.contains(v));
+                TyMeta {
+                    size,
+                    first_order: false,
+                    has_assoc,
+                    free_vars: Rc::from(fvs),
+                }
+            }
+            TyNode::Assoc { args, .. } => {
+                let mut size = 1u32;
+                let mut first_order = true;
+                for &a in args.iter() {
+                    let m = &self.meta[a.index()];
+                    size = size.saturating_add(m.size);
+                    first_order &= m.first_order;
+                    push_fvs(&mut fvs, a, &self.meta);
+                }
+                TyMeta {
+                    size,
+                    first_order,
+                    has_assoc: true,
+                    free_vars: Rc::from(fvs),
+                }
+            }
+        }
+    }
+
+    fn intern(&mut self, ty: &RTy) -> TyId {
+        let node = match ty {
+            RTy::Var(v) => TyNode::Var(*v),
+            RTy::Int => TyNode::Int,
+            RTy::Bool => TyNode::Bool,
+            RTy::List(t) => TyNode::List(self.intern(t)),
+            RTy::Fn(ps, r) => {
+                let ps: Box<[TyId]> = ps.iter().map(|p| self.intern(p)).collect();
+                let r = self.intern(r);
+                TyNode::Fn(ps, r)
+            }
+            RTy::Forall {
+                vars,
+                constraints,
+                body,
+            } => {
+                let cs: Box<[CtId]> = constraints.iter().map(|c| self.intern_ct(c)).collect();
+                let body = self.intern(body);
+                TyNode::Forall {
+                    vars: vars.clone().into_boxed_slice(),
+                    constraints: cs,
+                    body,
+                }
+            }
+            RTy::Assoc {
+                concept,
+                concept_name,
+                args,
+                name,
+            } => {
+                let args: Box<[TyId]> = args.iter().map(|a| self.intern(a)).collect();
+                TyNode::Assoc {
+                    concept: *concept,
+                    concept_name: *concept_name,
+                    args,
+                    name: *name,
+                }
+            }
+        };
+        self.mk(node)
+    }
+
+    fn intern_ct(&mut self, c: &RConstraint) -> CtId {
+        let node = match c {
+            RConstraint::Model {
+                concept,
+                concept_name,
+                args,
+            } => {
+                let args: Box<[TyId]> = args.iter().map(|a| self.intern(a)).collect();
+                CtNode::Model {
+                    concept: *concept,
+                    concept_name: *concept_name,
+                    args,
+                }
+            }
+            RConstraint::SameTy(a, b) => {
+                let a = self.intern(a);
+                let b = self.intern(b);
+                CtNode::SameTy(a, b)
+            }
+        };
+        self.mkc(node)
+    }
+
+    fn to_rty(&self, id: TyId) -> RTy {
+        match &self.nodes[id.index()] {
+            TyNode::Var(v) => RTy::Var(*v),
+            TyNode::Int => RTy::Int,
+            TyNode::Bool => RTy::Bool,
+            TyNode::List(t) => RTy::List(Box::new(self.to_rty(*t))),
+            TyNode::Fn(ps, r) => RTy::Fn(
+                ps.iter().map(|p| self.to_rty(*p)).collect(),
+                Box::new(self.to_rty(*r)),
+            ),
+            TyNode::Forall {
+                vars,
+                constraints,
+                body,
+            } => RTy::Forall {
+                vars: vars.to_vec(),
+                constraints: constraints.iter().map(|c| self.to_rconstraint(*c)).collect(),
+                body: Box::new(self.to_rty(*body)),
+            },
+            TyNode::Assoc {
+                concept,
+                concept_name,
+                args,
+                name,
+            } => RTy::Assoc {
+                concept: *concept,
+                concept_name: *concept_name,
+                args: args.iter().map(|a| self.to_rty(*a)).collect(),
+                name: *name,
+            },
+        }
+    }
+
+    fn to_rconstraint(&self, id: CtId) -> RConstraint {
+        match &self.cnodes[id.0 as usize] {
+            CtNode::Model {
+                concept,
+                concept_name,
+                args,
+            } => RConstraint::Model {
+                concept: *concept,
+                concept_name: *concept_name,
+                args: args.iter().map(|a| self.to_rty(*a)).collect(),
+            },
+            CtNode::SameTy(a, b) => {
+                RConstraint::SameTy(self.to_rty(*a), self.to_rty(*b))
+            }
+        }
+    }
+
+    fn subst_id(&mut self, map: &[(Symbol, TyId)]) -> SubstId {
+        let mut sorted: Vec<(Symbol, TyId)> = map.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let key: Rc<[(Symbol, TyId)]> = Rc::from(sorted);
+        if let Some(&id) = self.subst_ids.get(&key) {
+            return id;
+        }
+        let id = SubstId(u32::try_from(self.substs.len()).expect("interner arena overflow"));
+        self.substs.push(Rc::clone(&key));
+        self.subst_ids.insert(key, id);
+        id
+    }
+
+    fn subst_lookup(&self, sid: SubstId, v: Symbol) -> Option<TyId> {
+        let map = &self.substs[sid.0 as usize];
+        map.binary_search_by_key(&v, |&(k, _)| k)
+            .ok()
+            .map(|i| map[i].1)
+    }
+
+    fn subst(&mut self, id: TyId, sid: SubstId) -> TyId {
+        if self.substs[sid.0 as usize].is_empty() {
+            return id;
+        }
+        // A node with no free variable in the map's domain is a fixpoint;
+        // this also keeps the cache small for ground types.
+        {
+            let fvs = &self.meta[id.index()].free_vars;
+            let map = &self.substs[sid.0 as usize];
+            if !fvs
+                .iter()
+                .any(|v| map.binary_search_by_key(v, |&(k, _)| k).is_ok())
+            {
+                return id;
+            }
+        }
+        if let Some(&out) = self.subst_cache.get(&(id, sid)) {
+            self.stats.subst_hits += 1;
+            return out;
+        }
+        self.stats.subst_misses += 1;
+        let out = match self.nodes[id.index()].clone() {
+            TyNode::Var(v) => self.subst_lookup(sid, v).unwrap_or(id),
+            TyNode::Int | TyNode::Bool => id,
+            TyNode::List(t) => {
+                let t = self.subst(t, sid);
+                self.mk(TyNode::List(t))
+            }
+            TyNode::Fn(ps, r) => {
+                let ps: Box<[TyId]> = ps.iter().map(|&p| self.subst(p, sid)).collect();
+                let r = self.subst(r, sid);
+                self.mk(TyNode::Fn(ps, r))
+            }
+            TyNode::Forall {
+                vars,
+                constraints,
+                body,
+            } => {
+                // The same capture-avoiding discipline as the tree-walking
+                // `subst`: drop shadowed keys, then rename any binder that
+                // collides with a free variable of the (restricted) range.
+                let mut inner: Vec<(Symbol, TyId)> = self.substs[sid.0 as usize]
+                    .iter()
+                    .filter(|(k, _)| !vars.contains(k))
+                    .copied()
+                    .collect();
+                let mut range_fvs: Vec<Symbol> = Vec::new();
+                for &(_, v) in &inner {
+                    for fv in self.meta[v.index()].free_vars.iter() {
+                        if !range_fvs.contains(fv) {
+                            range_fvs.push(*fv);
+                        }
+                    }
+                }
+                let mut new_vars = Vec::with_capacity(vars.len());
+                for &v in vars.iter() {
+                    if range_fvs.contains(&v) {
+                        let fresh = Symbol::fresh(v.as_str());
+                        let fresh_id = self.mk(TyNode::Var(fresh));
+                        inner.push((v, fresh_id));
+                        new_vars.push(fresh);
+                    } else {
+                        new_vars.push(v);
+                    }
+                }
+                let inner_sid = self.subst_id(&inner);
+                let cs: Box<[CtId]> = constraints
+                    .iter()
+                    .map(|&c| self.subst_ct(c, inner_sid))
+                    .collect();
+                let body = self.subst(body, inner_sid);
+                self.mk(TyNode::Forall {
+                    vars: new_vars.into_boxed_slice(),
+                    constraints: cs,
+                    body,
+                })
+            }
+            TyNode::Assoc {
+                concept,
+                concept_name,
+                args,
+                name,
+            } => {
+                let args: Box<[TyId]> = args.iter().map(|&a| self.subst(a, sid)).collect();
+                self.mk(TyNode::Assoc {
+                    concept,
+                    concept_name,
+                    args,
+                    name,
+                })
+            }
+        };
+        self.subst_cache.insert((id, sid), out);
+        out
+    }
+
+    fn subst_ct(&mut self, id: CtId, sid: SubstId) -> CtId {
+        if let Some(&out) = self.csubst_cache.get(&(id, sid)) {
+            self.stats.subst_hits += 1;
+            return out;
+        }
+        self.stats.subst_misses += 1;
+        let out = match self.cnodes[id.0 as usize].clone() {
+            CtNode::Model {
+                concept,
+                concept_name,
+                args,
+            } => {
+                let args: Box<[TyId]> = args.iter().map(|&a| self.subst(a, sid)).collect();
+                self.mkc(CtNode::Model {
+                    concept,
+                    concept_name,
+                    args,
+                })
+            }
+            CtNode::SameTy(a, b) => {
+                let a = self.subst(a, sid);
+                let b = self.subst(b, sid);
+                self.mkc(CtNode::SameTy(a, b))
+            }
+        };
+        self.csubst_cache.insert((id, sid), out);
+        out
+    }
+}
+
+/// A hash-consing interner for [`RTy`]: an append-only arena of immutable
+/// nodes addressed by [`TyId`] handles.
+///
+/// Structurally equal types always intern to the same handle, so `TyId`
+/// equality is exact `RTy` equality at pointer-comparison cost, and the
+/// structural hash of a node is computed once at interning time (child
+/// hashes are just handle hashes). `size`/`is_first_order`/`has_assoc`/
+/// `free_vars` are precomputed bottom-up and become O(1) reads.
+///
+/// Clones share the same arena (`Rc`), which is what lets every scope
+/// clone of the checker's equality engine keep its `TyId`s stable. The
+/// arena is deliberately `!Send`: a checker and its engines live on one
+/// thread (the big-stack worker spawns the checker *inside* the thread).
+#[derive(Debug, Clone, Default)]
+pub struct TyInterner(Rc<RefCell<Store>>);
+
+impl TyInterner {
+    /// A fresh, empty interner.
+    pub fn new() -> TyInterner {
+        TyInterner::default()
+    }
+
+    /// Returns `true` if the two interners share one arena.
+    pub fn same_arena(&self, other: &TyInterner) -> bool {
+        Rc::ptr_eq(&self.0, &other.0)
+    }
+
+    /// Interns a type, returning its canonical handle.
+    pub fn intern(&self, ty: &RTy) -> TyId {
+        self.0.borrow_mut().intern(ty)
+    }
+
+    /// Interns a constraint.
+    pub fn intern_constraint(&self, c: &RConstraint) -> CtId {
+        self.0.borrow_mut().intern_ct(c)
+    }
+
+    /// Reconstructs the tree form of `id`.
+    pub fn to_rty(&self, id: TyId) -> RTy {
+        self.0.borrow().to_rty(id)
+    }
+
+    /// Reconstructs the tree form of a constraint handle.
+    pub fn to_rconstraint(&self, id: CtId) -> RConstraint {
+        self.0.borrow().to_rconstraint(id)
+    }
+
+    /// A clone of the interned node for `id`.
+    pub fn node(&self, id: TyId) -> TyNode {
+        self.0.borrow().nodes[id.index()].clone()
+    }
+
+    /// A clone of the interned constraint node for `id`.
+    pub fn constraint_node(&self, id: CtId) -> CtNode {
+        self.0.borrow().cnodes[id.0 as usize].clone()
+    }
+
+    /// O(1): the node count of `id` (same value as [`RTy::size`]).
+    pub fn size(&self, id: TyId) -> usize {
+        self.0.borrow().meta[id.index()].size as usize
+    }
+
+    /// O(1): whether `id` is `Forall`-free (same as [`RTy::is_first_order`]).
+    pub fn is_first_order(&self, id: TyId) -> bool {
+        self.0.borrow().meta[id.index()].first_order
+    }
+
+    /// O(1): whether `id` contains an associated-type projection.
+    pub fn has_assoc(&self, id: TyId) -> bool {
+        self.0.borrow().meta[id.index()].has_assoc
+    }
+
+    /// The free variables of `id` in first-occurrence order (shared slice;
+    /// same contents as [`RTy::free_vars`]).
+    pub fn free_vars(&self, id: TyId) -> Rc<[Symbol]> {
+        Rc::clone(&self.0.borrow().meta[id.index()].free_vars)
+    }
+
+    /// Interns a substitution map for use with [`TyInterner::subst`].
+    pub fn subst_id(&self, map: &[(Symbol, TyId)]) -> SubstId {
+        self.0.borrow_mut().subst_id(map)
+    }
+
+    /// Capture-avoiding substitution over handles, memoized per
+    /// `(TyId, SubstId)` pair. Agrees with the tree-walking [`subst`] up
+    /// to alpha-renaming of `Forall` binders (fresh names differ).
+    pub fn subst(&self, id: TyId, sid: SubstId) -> TyId {
+        self.0.borrow_mut().subst(id, sid)
+    }
+
+    /// Convenience: interns `map`'s range and applies it to `ty`.
+    pub fn subst_rty(&self, ty: &RTy, map: &HashMap<Symbol, RTy>) -> RTy {
+        let mut store = self.0.borrow_mut();
+        let id = store.intern(ty);
+        let pairs: Vec<(Symbol, TyId)> =
+            map.iter().map(|(k, v)| (*k, store.intern(v))).collect();
+        let sid = store.subst_id(&pairs);
+        let out = store.subst(id, sid);
+        store.to_rty(out)
+    }
+
+    /// Number of interned type nodes.
+    pub fn len(&self) -> usize {
+        self.0.borrow().nodes.len()
+    }
+
+    /// Returns `true` if nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.0.borrow().nodes.is_empty()
+    }
+
+    /// Counter snapshot for the `intern.*` metrics group.
+    pub fn stats(&self) -> InternStats {
+        self.0.borrow().stats
+    }
+
+    /// Charges all *future* arena growth against `budget`'s max-terms
+    /// meter (one unit per fresh node, exactly like a congruence term).
+    pub fn set_budget(&self, budget: Arc<Budget>) {
+        self.0.borrow_mut().budget = Some(budget);
+    }
+}
+
 impl fmt::Display for RTy {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -522,5 +1197,97 @@ mod tests {
     fn size_counts_nodes() {
         assert_eq!(v("t").size(), 1);
         assert_eq!(RTy::func(vec![v("t")], RTy::Int).size(), 3);
+    }
+
+    #[test]
+    fn interner_hashcons_gives_one_id_per_structure() {
+        let it = TyInterner::new();
+        let a = it.intern(&RTy::func(vec![v("t"), RTy::Int], RTy::list(v("t"))));
+        let b = it.intern(&RTy::func(vec![v("t"), RTy::Int], RTy::list(v("t"))));
+        assert_eq!(a, b);
+        let c = it.intern(&RTy::func(vec![v("u"), RTy::Int], RTy::list(v("u"))));
+        assert_ne!(a, c);
+        let stats = it.stats();
+        assert!(stats.hits > 0, "re-interning must hit the hashcons table");
+        assert_eq!(stats.arena_types, it.len() as u64);
+    }
+
+    #[test]
+    fn interner_roundtrips_and_metadata_matches_tree_walk() {
+        let it = TyInterner::new();
+        let cases = [
+            RTy::Int,
+            v("t"),
+            RTy::list(assoc(vec![v("t")])),
+            RTy::Forall {
+                vars: vec![s("a")],
+                constraints: vec![
+                    RConstraint::Model {
+                        concept: ConceptId(3),
+                        concept_name: s("Monoid"),
+                        args: vec![v("a"), v("z")],
+                    },
+                    RConstraint::SameTy(v("a"), assoc(vec![v("w")])),
+                ],
+                body: Box::new(RTy::func(vec![v("a")], v("b"))),
+            },
+        ];
+        for ty in &cases {
+            let id = it.intern(ty);
+            assert_eq!(&it.to_rty(id), ty, "roundtrip must be exact");
+            assert_eq!(it.size(id), ty.size());
+            assert_eq!(it.is_first_order(id), ty.is_first_order());
+            assert_eq!(it.has_assoc(id), ty.has_assoc());
+            assert_eq!(it.free_vars(id).to_vec(), ty.free_vars());
+        }
+    }
+
+    #[test]
+    fn interner_subst_agrees_with_tree_subst_and_avoids_capture() {
+        let it = TyInterner::new();
+        // The non-capturing case is exactly equal to the tree walk.
+        let t = assoc(vec![RTy::list(v("t"))]);
+        let mut map = HashMap::new();
+        map.insert(s("t"), RTy::func(vec![RTy::Int], v("u")));
+        assert_eq!(it.subst_rty(&t, &map), subst(&t, &map));
+
+        // The capturing case renames the binder (fresh names differ from
+        // the tree walk's, so compare shapes, not symbols).
+        let t = RTy::Forall {
+            vars: vec![s("a")],
+            constraints: vec![],
+            body: Box::new(RTy::func(vec![v("a")], v("b"))),
+        };
+        let mut map = HashMap::new();
+        map.insert(s("b"), v("a"));
+        let r = it.subst_rty(&t, &map);
+        let RTy::Forall { vars, body, .. } = &r else {
+            unreachable!("subst must keep the forall shape, got {r:?}");
+        };
+        assert_ne!(vars[0], s("a"), "binder should have been renamed");
+        let RTy::Fn(ps, ret) = &**body else {
+            unreachable!("body must stay a function type, got {body:?}");
+        };
+        assert_eq!(ps[0], RTy::Var(vars[0]));
+        assert_eq!(**ret, v("a"));
+        assert_eq!(r.free_vars(), vec![s("a")]);
+    }
+
+    #[test]
+    fn interner_subst_cache_hits_on_repeat() {
+        let it = TyInterner::new();
+        let t = RTy::func(vec![v("t"), v("t"), v("t")], v("t"));
+        let mut map = HashMap::new();
+        map.insert(s("t"), RTy::Int);
+        let first = it.subst_rty(&t, &map);
+        let misses = it.stats().subst_misses;
+        let second = it.subst_rty(&t, &map);
+        assert_eq!(first, second);
+        assert_eq!(
+            it.stats().subst_misses,
+            misses,
+            "second identical subst must be fully cached"
+        );
+        assert!(it.stats().subst_hits > 0);
     }
 }

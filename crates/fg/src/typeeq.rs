@@ -14,7 +14,14 @@
 //! types (`forall`) fall outside the first-order theory; they are compared
 //! structurally (up to alpha-renaming), recursing through this same
 //! procedure at every sub-position, and participate in the congruence as
-//! opaque constants keyed by a canonical rendering.
+//! opaque constants keyed by a canonical token spine.
+//!
+//! Since the interner PR, every type is hash-consed into a [`TyInterner`]
+//! first: the congruence encoding maps [`TyId`] handles to [`TermId`]s
+//! through a union-count-stamped cache, so repeated encodings of the same
+//! type are a single hash lookup and the encoding path allocates no
+//! strings (the old `canon` rendering built a `format!` key per `forall`
+//! on *every* query).
 //!
 //! The translation to System F needs one extra operation beyond equality:
 //! [`TypeEq::resolve`] rewrites a type to the *representative* of its
@@ -29,7 +36,28 @@ use congruence::{Congruence, Op, TermId};
 use system_f::Symbol;
 use telemetry::trace::Tracer;
 
-use crate::rty::{ConceptId, RConstraint, RTy};
+use crate::rty::{ConceptId, CtNode, InternStats, RConstraint, RTy, TyId, TyInterner, TyNode};
+
+/// One token of the canonical spine for universal types. The spine is a
+/// prefix rendering with explicit arities in every head token, so two
+/// token slices are equal exactly when the old string renderings were.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum PolyTok {
+    /// A maximal closed first-order sub-term, by its current class root.
+    Root(u32),
+    /// A bound variable, by de Bruijn index.
+    Bound(u32),
+    /// A free variable under the binders.
+    Free(Symbol),
+    Int,
+    Bool,
+    ListOp,
+    FnOp(u32),
+    AssocOp(ConceptId, Symbol, u32),
+    ForallOp(u32, u32),
+    MdlOp(ConceptId, u32),
+    SameTyOp,
+}
 
 /// Keys identifying uninterpreted operators.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -40,22 +68,37 @@ enum OpKey {
     Fn(usize),
     Var(Symbol),
     Assoc(ConceptId, Symbol),
-    /// A universal type, keyed by canonical rendering.
-    Poly(String),
+    /// A universal type, keyed by canonical token spine.
+    Poly(Box<[PolyTok]>),
 }
+
+/// Cache stamp meaning "valid regardless of union state": first-order
+/// encodings are purely structural and hash-consed, so the same `TyId`
+/// always maps to the same `TermId`.
+const STAMP_FIRST_ORDER: u64 = u64::MAX;
 
 /// The scoped type-equality state.
 ///
 /// Cloning is cheap enough to give same-type constraints lexical scope: the
 /// checker clones on entering a scope that asserts equalities and drops the
-/// clone on exit.
+/// clone on exit. Clones share the interner arena, so `TyId` handles stay
+/// stable across scopes.
 #[derive(Debug, Clone, Default)]
 pub struct TypeEq {
     cc: Congruence,
     ops: HashMap<OpKey, Op>,
     next_op: u32,
-    /// `decoded[t.index()]` is the type that first produced term `t`.
-    decoded: Vec<RTy>,
+    /// Shared hash-consing arena for the types this engine has seen.
+    interner: TyInterner,
+    /// `decoded[t.index()]` is the interned type that first produced term
+    /// `t`.
+    decoded: Vec<TyId>,
+    /// `TyId → TermId` encoding cache. The stamp is the union count at
+    /// the *start* of the encoding ([`STAMP_FIRST_ORDER`] for first-order
+    /// types): `forall` encodings embed current class roots, so any union
+    /// invalidates them — exactly reproducing the old re-render-per-query
+    /// semantics, minus the rendering cost when nothing changed.
+    term_cache: HashMap<TyId, (TermId, u64)>,
     /// Type-alias names: never eligible as class representatives (they are
     /// not System F binders, so the translation must never emit them).
     banned: Vec<Symbol>,
@@ -160,11 +203,12 @@ impl TypeEq {
         self.carried.term_bank_peak = self.carried.term_bank_peak.max(delta.term_bank_peak);
     }
 
-    /// Attaches a shared resource budget: congruence-node creation and
-    /// class unions charge against it, so a blowup in the equality
-    /// engine trips the budget instead of exhausting memory. Scope
-    /// clones share the budget.
+    /// Attaches a shared resource budget: congruence-node creation,
+    /// interner arena growth, and class unions charge against it, so a
+    /// blowup in the equality engine trips the budget instead of
+    /// exhausting memory. Scope clones share the budget.
     pub fn set_budget(&mut self, budget: std::sync::Arc<telemetry::limits::Budget>) {
+        self.interner.set_budget(budget.clone());
         self.cc.set_budget(budget);
     }
 
@@ -174,6 +218,33 @@ impl TypeEq {
     pub fn set_tracer(&mut self, tracer: Tracer) {
         self.cc.set_union_logging(tracer.is_enabled());
         self.tracer = tracer;
+    }
+
+    /// A shared handle to this engine's type interner (clones share the
+    /// arena). The checker uses the same arena so `TyId`s line up.
+    pub fn interner(&self) -> TyInterner {
+        self.interner.clone()
+    }
+
+    /// Counter snapshot of the shared interner arena.
+    pub fn intern_stats(&self) -> InternStats {
+        self.interner.stats()
+    }
+
+    /// The number of equalities asserted into this scope (ancestors
+    /// included). Zero means the congruence is discrete: every class is a
+    /// singleton, so equality is exactly structural equality.
+    pub fn assertion_count(&self) -> usize {
+        self.asserted.len()
+    }
+
+    /// A fingerprint of everything that can influence an equality or
+    /// resolution answer: term bank size (mere encoding grows classes a
+    /// query can see), union count, assertion count, and banned-alias
+    /// count. Used by the checker to validate memoized lookups.
+    pub(crate) fn state_stamp(&self) -> (u64, u64, usize, usize) {
+        let cc = self.cc.stats();
+        (cc.terms, cc.unions, self.asserted.len(), self.banned.len())
     }
 
     /// Reports the congruence unions accumulated since the last flush as
@@ -187,7 +258,7 @@ impl TypeEq {
             let render = |te: &TypeEq, t: TermId| {
                 te.decoded
                     .get(t.index())
-                    .map(|ty| ty.to_string())
+                    .map(|&tid| te.interner.to_rty(tid).to_string())
                     .unwrap_or_else(|| t.to_string())
             };
             let (lhs, rhs, repr) = (
@@ -440,18 +511,21 @@ impl TypeEq {
     /// the checker to view a type as a function or universal type through
     /// declared equalities.
     pub fn class_members(&mut self, ty: &RTy) -> Vec<RTy> {
-        let id = self.encode(ty);
-        let root = self.cc.find(id);
-        let mut out = Vec::new();
-        for i in 0..self.decoded.len() {
-            if self.cc.find(congruence_term_id(i)) == root {
-                let cand = self.decoded[i].clone();
-                if !out.contains(&cand) {
-                    out.push(cand);
-                }
+        let tid = self.interner.intern(ty);
+        let term = self.encode_tid(tid);
+        let root = self.cc.find(term);
+        // The maintained class list is O(class size); sort to recover the
+        // creation order the old full-bank scan produced.
+        let mut members: Vec<TermId> = self.cc.class_members(root).to_vec();
+        members.sort_unstable();
+        let mut seen: Vec<TyId> = Vec::new();
+        for m in members {
+            let cand = self.decoded[m.index()];
+            if !seen.contains(&cand) {
+                seen.push(cand);
             }
         }
-        out
+        seen.into_iter().map(|t| self.interner.to_rty(t)).collect()
     }
 
     /// Picks the best member of `ty`'s equivalence class (possibly `ty`
@@ -465,46 +539,48 @@ impl TypeEq {
     /// must translate `t`'s uses to the function type, or elimination
     /// forms in the System F output would be stuck on `t`).
     fn class_best(&mut self, ty: &RTy) -> RTy {
-        let id = self.encode(ty);
-        let root = self.cc.find(id);
-        let key_of = |te: &mut Self, t: &RTy, idx: usize| {
+        let tid = self.interner.intern(ty);
+        let term = self.encode_tid(tid);
+        let root = self.cc.find(term);
+        let key_of = |te: &Self, t: TyId, idx: usize| {
             (
-                te.score(t),
-                u32::from(matches!(t, RTy::Var(_))),
-                t.size(),
+                te.score_id(t),
+                u32::from(matches!(te.interner.node(t), TyNode::Var(_))),
+                te.interner.size(t),
                 idx,
             )
         };
-        let mut best_key = key_of(self, ty, id.index());
-        let mut best = ty.clone();
-        for i in 0..self.decoded.len() {
-            let candidate_id = congruence_term_id(i);
-            if self.cc.find(candidate_id) != root {
-                continue;
-            }
-            let cand = self.decoded[i].clone();
-            let key = key_of(self, &cand, i);
+        let mut best_key = key_of(self, tid, term.index());
+        let mut best = tid;
+        let mut members: Vec<TermId> = self.cc.class_members(root).to_vec();
+        members.sort_unstable();
+        for m in members {
+            let cand = self.decoded[m.index()];
+            let key = key_of(self, cand, m.index());
             if key < best_key {
                 best_key = key;
                 best = cand;
             }
         }
-        best
+        self.interner.to_rty(best)
     }
 
-    fn score(&self, ty: &RTy) -> u32 {
-        let banned = ty
-            .free_vars()
+    fn score_id(&self, tid: TyId) -> u32 {
+        let banned = self
+            .interner
+            .free_vars(tid)
             .iter()
             .any(|v| self.banned.contains(v));
         if banned {
             2
-        } else if ty.has_assoc() {
+        } else if self.interner.has_assoc(tid) {
             1
         } else {
             0
         }
     }
+
+    // --- begin congruence encoding (gate: no format!/new string keys) ---
 
     fn op(&mut self, key: OpKey) -> Op {
         if let Some(&op) = self.ops.get(&key) {
@@ -516,123 +592,155 @@ impl TypeEq {
         op
     }
 
-    /// Encodes a type into the congruence term bank (hash-consed).
+    /// Encodes a type into the congruence term bank (hash-consed through
+    /// the interner).
     fn encode(&mut self, ty: &RTy) -> TermId {
-        let id = match ty {
-            RTy::Var(v) => {
-                let op = self.op(OpKey::Var(*v));
+        let tid = self.interner.intern(ty);
+        self.encode_tid(tid)
+    }
+
+    /// `TyId → TermId`, through the stamped cache.
+    fn encode_tid(&mut self, tid: TyId) -> TermId {
+        let unions_now = self.cc.stats().unions;
+        if let Some(&(term, stamp)) = self.term_cache.get(&tid) {
+            if stamp == STAMP_FIRST_ORDER || stamp == unions_now {
+                return term;
+            }
+        }
+        let term = match self.interner.node(tid) {
+            TyNode::Var(v) => {
+                let op = self.op(OpKey::Var(v));
                 self.cc.constant(op)
             }
-            RTy::Int => {
+            TyNode::Int => {
                 let op = self.op(OpKey::Int);
                 self.cc.constant(op)
             }
-            RTy::Bool => {
+            TyNode::Bool => {
                 let op = self.op(OpKey::Bool);
                 self.cc.constant(op)
             }
-            RTy::List(t) => {
-                let c = self.encode(t);
+            TyNode::List(t) => {
+                let c = self.encode_tid(t);
                 let op = self.op(OpKey::List);
                 self.cc.term(op, &[c])
             }
-            RTy::Fn(ps, r) => {
-                let mut children: Vec<TermId> = ps.iter().map(|p| self.encode(p)).collect();
-                children.push(self.encode(r));
+            TyNode::Fn(ps, r) => {
+                let mut children: Vec<TermId> =
+                    ps.iter().map(|&p| self.encode_tid(p)).collect();
+                children.push(self.encode_tid(r));
                 let op = self.op(OpKey::Fn(ps.len()));
                 self.cc.term(op, &children)
             }
-            RTy::Assoc {
+            TyNode::Assoc {
                 concept, args, name, ..
             } => {
-                let children: Vec<TermId> = args.iter().map(|a| self.encode(a)).collect();
-                let op = self.op(OpKey::Assoc(*concept, *name));
+                let children: Vec<TermId> =
+                    args.iter().map(|&a| self.encode_tid(a)).collect();
+                let op = self.op(OpKey::Assoc(concept, name));
                 self.cc.term(op, &children)
             }
-            RTy::Forall { .. } => {
-                let rendering = self.canon(ty, &mut Vec::new());
-                let op = self.op(OpKey::Poly(rendering));
+            TyNode::Forall { .. } => {
+                let mut toks = Vec::new();
+                self.canon_tokens(tid, &mut Vec::new(), &mut toks);
+                let op = self.op(OpKey::Poly(toks.into_boxed_slice()));
                 self.cc.constant(op)
             }
         };
         while self.decoded.len() < self.cc.len() {
             // Any newly created term (including children) decodes to the
             // type that created it; children were pushed by their own
-            // recursive `encode` calls, so only `id` can be missing here.
-            self.decoded.push(ty.clone());
+            // recursive `encode_tid` calls, so only `term` can be missing.
+            self.decoded.push(tid);
         }
-        id
+        // Stamp with the union count from *before* this encoding: if
+        // encoding itself unioned classes, a `forall` spine rendered
+        // mid-flight may already be stale, and the next query must
+        // re-render — exactly what the un-cached implementation did.
+        let stamp = if self.interner.is_first_order(tid) {
+            STAMP_FIRST_ORDER
+        } else {
+            unions_now
+        };
+        self.term_cache.insert(tid, (term, stamp));
+        term
     }
 
-    /// Canonical rendering for universal types: binders become de Bruijn
+    /// Canonical token spine for universal types: binders become de Bruijn
     /// indices; maximal closed first-order sub-terms become their current
     /// class root (so congruent sub-terms render identically).
-    fn canon(&mut self, ty: &RTy, bound: &mut Vec<Symbol>) -> String {
-        let closed_first_order = ty.is_first_order()
-            && ty.free_vars().iter().all(|v| !bound.contains(v));
+    fn canon_tokens(&mut self, tid: TyId, bound: &mut Vec<Symbol>, out: &mut Vec<PolyTok>) {
+        let closed_first_order = self.interner.is_first_order(tid)
+            && self
+                .interner
+                .free_vars(tid)
+                .iter()
+                .all(|v| !bound.contains(v));
         if closed_first_order {
-            let id = self.encode(ty);
-            return format!("#{}", self.cc.find(id).index());
+            let term = self.encode_tid(tid);
+            let root = self.cc.find(term);
+            out.push(PolyTok::Root(
+                u32::try_from(root.index()).expect("term bank exceeds u32"),
+            ));
+            return;
         }
-        match ty {
-            RTy::Var(v) => match bound.iter().rposition(|b| b == v) {
-                Some(i) => format!("${i}"),
-                None => format!("?{v}"),
+        let arity = |n: usize| u32::try_from(n).expect("arity exceeds u32");
+        match self.interner.node(tid) {
+            TyNode::Var(v) => match bound.iter().rposition(|b| *b == v) {
+                Some(i) => out.push(PolyTok::Bound(arity(i))),
+                None => out.push(PolyTok::Free(v)),
             },
-            RTy::Int => "int".to_owned(),
-            RTy::Bool => "bool".to_owned(),
-            RTy::List(t) => format!("list({})", self.canon(t, bound)),
-            RTy::Fn(ps, r) => {
-                let parts: Vec<String> = ps.iter().map(|p| self.canon(p, bound)).collect();
-                format!("fn({})->{}", parts.join(","), self.canon(r, bound))
+            TyNode::Int => out.push(PolyTok::Int),
+            TyNode::Bool => out.push(PolyTok::Bool),
+            TyNode::List(t) => {
+                out.push(PolyTok::ListOp);
+                self.canon_tokens(t, bound, out);
             }
-            RTy::Assoc {
+            TyNode::Fn(ps, r) => {
+                out.push(PolyTok::FnOp(arity(ps.len())));
+                for &p in ps.iter() {
+                    self.canon_tokens(p, bound, out);
+                }
+                self.canon_tokens(r, bound, out);
+            }
+            TyNode::Assoc {
                 concept, args, name, ..
             } => {
-                let parts: Vec<String> = args.iter().map(|a| self.canon(a, bound)).collect();
-                format!("assoc{}:{}({})", concept.0, name, parts.join(","))
+                out.push(PolyTok::AssocOp(concept, name, arity(args.len())));
+                for &a in args.iter() {
+                    self.canon_tokens(a, bound, out);
+                }
             }
-            RTy::Forall {
+            TyNode::Forall {
                 vars,
                 constraints,
                 body,
             } => {
+                out.push(PolyTok::ForallOp(arity(vars.len()), arity(constraints.len())));
                 let n = bound.len();
-                bound.extend_from_slice(vars);
-                let cs: Vec<String> = constraints
-                    .iter()
-                    .map(|c| match c {
-                        RConstraint::Model { concept, args, .. } => {
-                            let parts: Vec<String> =
-                                args.iter().map(|a| self.canon(a, bound)).collect();
-                            format!("mdl{}({})", concept.0, parts.join(","))
+                bound.extend_from_slice(&vars);
+                for &c in constraints.iter() {
+                    match self.interner.constraint_node(c) {
+                        CtNode::Model { concept, args, .. } => {
+                            out.push(PolyTok::MdlOp(concept, arity(args.len())));
+                            for &a in args.iter() {
+                                self.canon_tokens(a, bound, out);
+                            }
                         }
-                        RConstraint::SameTy(a, b) => {
-                            format!("{}=={}", self.canon(a, bound), self.canon(b, bound))
+                        CtNode::SameTy(a, b) => {
+                            out.push(PolyTok::SameTyOp);
+                            self.canon_tokens(a, bound, out);
+                            self.canon_tokens(b, bound, out);
                         }
-                    })
-                    .collect();
-                let s = format!(
-                    "forall/{}[{}].{}",
-                    vars.len(),
-                    cs.join(";"),
-                    self.canon(body, bound)
-                );
+                    }
+                }
+                self.canon_tokens(body, bound, out);
                 bound.truncate(n);
-                s
             }
         }
     }
-}
 
-/// Rebuilds a [`TermId`] from a raw index. The congruence crate keeps the
-/// constructor private; ids are dense, so indexing `0..cc.len()` is safe.
-fn congruence_term_id(index: usize) -> TermId {
-    // TermId is ordered and dense; reconstruct via transmute-free trick:
-    // Congruence hash-conses, so re-encoding is not possible here. Instead
-    // we rely on TermId implementing Ord + index(); build by search is
-    // O(n), so we use the public from-index constructor added below.
-    TermId::from_raw_index(index)
+    // --- end congruence encoding ---
 }
 
 #[cfg(test)]
@@ -805,6 +913,27 @@ mod tests {
     }
 
     #[test]
+    fn foralls_see_equalities_asserted_after_first_encoding() {
+        // Regression for the stamped encoding cache: a `forall` whose
+        // spine embeds a class root must be re-encoded after a union
+        // changes that root, not served stale from the cache.
+        let mut te = TypeEq::new();
+        let f1 = RTy::Forall {
+            vars: vec![s("a")],
+            constraints: vec![],
+            body: Box::new(RTy::func(vec![v("a")], v("t"))),
+        };
+        let f2 = RTy::Forall {
+            vars: vec![s("b")],
+            constraints: vec![],
+            body: Box::new(RTy::func(vec![v("b")], RTy::Int)),
+        };
+        assert!(!te.eq(&f1, &f2), "not equal before the assertion");
+        te.assert_eq(&v("t"), &RTy::Int);
+        assert!(te.eq(&f1, &f2), "equal after the assertion");
+    }
+
+    #[test]
     fn clone_scopes_equalities() {
         let mut outer = TypeEq::new();
         outer.assert_eq(&v("t"), &RTy::Int);
@@ -814,6 +943,14 @@ mod tests {
         assert!(inner.eq(&v("u"), &RTy::Bool));
         assert!(outer.eq(&v("t"), &RTy::Int));
         assert!(!outer.eq(&v("u"), &RTy::Bool));
+    }
+
+    #[test]
+    fn scope_clones_share_the_interner_arena() {
+        let mut outer = TypeEq::new();
+        outer.assert_eq(&v("t"), &RTy::Int);
+        let inner = outer.clone();
+        assert!(outer.interner().same_arena(&inner.interner()));
     }
 
     #[test]

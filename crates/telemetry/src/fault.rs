@@ -125,6 +125,13 @@ impl FaultPlan {
 /// path of [`hit`] to one relaxed load.
 static ACTIVE: AtomicUsize = AtomicUsize::new(0);
 
+/// `true` while any fault plan (global or scoped) is armed. Callers use
+/// this to switch off result caches whose hits would change which visit
+/// a countdown fault fires on.
+pub fn armed() -> bool {
+    ACTIVE.load(Ordering::Relaxed) != 0
+}
+
 static GLOBAL: OnceLock<Arc<FaultPlan>> = OnceLock::new();
 
 thread_local! {
