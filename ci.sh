@@ -1,22 +1,75 @@
 #!/bin/sh
 # Local CI gate: everything a PR must pass, runnable fully offline.
-# Usage: ./ci.sh
-set -eux
+#
+# Usage: ./ci.sh [build|test|lint|smoke|robustness|bench|all]...
+#
+# Stages run in the order given (default: all of them, in the order
+# below). Each stage is timed and recorded; after the run a stage table
+# is printed and a machine-readable ci-summary.json (fg-ci/1) is
+# written next to this script. The first failing stage marks the rest
+# skipped. All scratch files live in a mktemp -d directory that a trap
+# removes on any exit, including a forced mid-stage failure.
+#
+#   build       release build of the whole workspace
+#   test        unit, doc, and integration tests
+#   lint        clippy -D warnings, sh -n, py_compile, README-vs---help
+#   smoke       trace/explain validation, --jobs batch, serve round trip
+#   robustness  adversarial corpus, fuzz, fault injection, grep gates
+#   bench       quick fg-bench/1 runs, schema + regression + scaling gates
+set -eu
 
-# --workspace: the root manifest is also a package, so a bare build would
-# skip fg-cli and the gates below would run a stale `fg` binary.
-cargo build --release --workspace --offline
-cargo test -q --offline
-cargo test -q --workspace --offline
-cargo clippy --workspace --all-targets --offline -- -D warnings
-
-# Trace/explain smoke: every example must check with tracing on, emit
-# fg-trace/1 JSONL whose every line is valid JSON with the required
-# keys, and render an explain report.
 FG=target/release/fg
-for f in examples/*.fg; do
-    "$FG" check --trace /tmp/fg-ci-trace.jsonl "$f" > /dev/null
-    python3 - /tmp/fg-ci-trace.jsonl <<'PYEOF'
+SUMMARY=ci-summary.json
+CI_TMP=$(mktemp -d "${TMPDIR:-/tmp}/fg-ci.XXXXXX")
+trap 'rm -rf "$CI_TMP"' EXIT INT TERM
+
+# ---------------------------------------------------------------------
+# stages
+# ---------------------------------------------------------------------
+
+need_fg() {
+    [ -x "$FG" ] || { echo "ci.sh: $FG not built — run './ci.sh build' first"; exit 1; }
+}
+
+stage_build() {
+    # --workspace: the root manifest is also a package, so a bare build
+    # would skip fg-cli and the gates below would run a stale `fg`.
+    cargo build --release --workspace --offline
+}
+
+stage_test() {
+    cargo test -q --offline
+    cargo test -q --workspace --offline
+}
+
+stage_lint() {
+    need_fg
+    cargo clippy --workspace --all-targets --offline -- -D warnings
+
+    # The CI harness itself must parse, and so must every tool it runs.
+    sh -n ci.sh
+    python3 -m py_compile tools/*.py
+
+    # Docs-vs-binary drift gate: every `--flag` in README's flag tables
+    # must be accepted vocabulary in `fg --help`.
+    "$FG" --help > "$CI_TMP/help.txt"
+    sed -n 's/^| *`\(--[a-z-]*\).*/\1/p' README.md | sort -u > "$CI_TMP/readme-flags.txt"
+    [ -s "$CI_TMP/readme-flags.txt" ] || { echo "FAIL: no flag table found in README.md"; exit 1; }
+    while IFS= read -r flag; do
+        grep -q -- "$flag" "$CI_TMP/help.txt" \
+            || { echo "FAIL: README documents $flag but 'fg --help' does not mention it"; exit 1; }
+    done < "$CI_TMP/readme-flags.txt"
+    echo "lint: $(wc -l < "$CI_TMP/readme-flags.txt") README flags all present in --help"
+}
+
+stage_smoke() {
+    need_fg
+    # Trace/explain smoke: every example must check with tracing on,
+    # emit fg-trace/1 JSONL whose every line is valid JSON with the
+    # required keys, and render an explain report.
+    for f in examples/*.fg; do
+        "$FG" check --trace "$CI_TMP/trace.jsonl" "$f" > /dev/null
+        python3 - "$CI_TMP/trace.jsonl" <<'PYEOF'
 import json, sys
 with open(sys.argv[1]) as fh:
     lines = fh.read().splitlines()
@@ -32,66 +85,223 @@ for line in lines[1:]:
         assert key in ev, f"event missing {key}: {ev}"
     assert ev["ev"] in ("begin", "end", "instant"), ev
 PYEOF
-    "$FG" explain "$f" > /dev/null
-done
-rm -f /tmp/fg-ci-trace.jsonl
+        "$FG" explain "$f" > /dev/null
+    done
 
-# Robustness gate: every adversarial program must die as a structured
-# diagnostic (exit 1) under the default caps — not a crash (3), not a
-# success (0), not a hang. `run` (not `check`) so runtime bombs count.
-for f in examples/adversarial/*.fg; do
+    # Parallel batch smoke: the full example corpus (good files plus
+    # adversarial diagnostics) under --jobs 4 must finish with the
+    # worst-code-wins exit (1: diagnostics, no crashes) and a merged
+    # fg-metrics/1 report carrying the pool.* counter group.
     code=0
-    timeout 60 "$FG" run "$f" > /dev/null 2>&1 || code=$?
-    [ "$code" -eq 1 ] || { echo "FAIL: $f exited $code (want 1)"; exit 1; }
+    "$FG" --jobs 4 --metrics-json "$CI_TMP/batch-metrics.json" \
+        check examples/*.fg examples/adversarial/*.fg > /dev/null 2>&1 || code=$?
+    [ "$code" -eq 1 ] || { echo "FAIL: --jobs 4 batch exited $code (want 1)"; exit 1; }
+    python3 - "$CI_TMP/batch-metrics.json" <<'PYEOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["schema"] == "fg-metrics/1", doc
+pool = doc["counters"]["pool"]
+for key in ("workers", "jobs", "steals", "queue_depth_peak", "panics",
+            "cache_hits", "cache_misses"):
+    assert key in pool, f"pool group missing {key}: {pool}"
+assert pool["workers"] == 4, pool
+assert pool["jobs"] >= 6, pool
+assert pool["panics"] == 0, pool
+assert any(k.startswith("worker") and k.endswith("_busy_ns") for k in pool), pool
+PYEOF
+
+    # Serve smoke: boot the daemon on an ephemeral port, check a file
+    # twice over fg-rpc/1 (the repeat must be a recorded cache hit),
+    # confirm the hit in `stats`, and shut down cleanly (exit 0).
+    "$FG" serve --addr 127.0.0.1:0 > "$CI_TMP/serve.out" 2> "$CI_TMP/serve.err" &
+    serve_pid=$!
+    trap 'kill "$serve_pid" 2> /dev/null || true' EXIT
+    tries=0
+    until addr=$(sed -n 's|^fg: serving fg-rpc/1 on ||p' "$CI_TMP/serve.out") && [ -n "$addr" ]; do
+        tries=$((tries + 1))
+        [ "$tries" -le 50 ] || { echo "FAIL: serve did not announce an address"; exit 1; }
+        sleep 0.1
+    done
+    "$FG" rpc --addr "$addr" check examples/fig5_accumulate.fg > "$CI_TMP/rpc1.json"
+    "$FG" rpc --addr "$addr" check examples/fig5_accumulate.fg > "$CI_TMP/rpc2.json"
+    "$FG" rpc --addr "$addr" stats > "$CI_TMP/rpc-stats.json"
+    python3 - "$CI_TMP/rpc1.json" "$CI_TMP/rpc2.json" "$CI_TMP/rpc-stats.json" <<'PYEOF'
+import json, sys
+first, second, stats = (json.load(open(p)) for p in sys.argv[1:4])
+for r in (first, second):
+    assert r["v"] == "fg-rpc/1" and r["ok"] and r["exit"] == 0, r
+    assert r["output"].strip() == "int", r
+assert first["cached"] is False, first
+assert second["cached"] is True, "repeat request must hit the compile cache"
+pool = json.loads(stats["output"])["counters"]["pool"]
+assert pool["cache_hits"] >= 1, pool
+PYEOF
+    "$FG" rpc --addr "$addr" shutdown > /dev/null
+    code=0
+    wait "$serve_pid" || code=$?
+    trap - EXIT
+    [ "$code" -eq 0 ] || { echo "FAIL: serve shutdown exited $code (want 0)"; exit 1; }
+}
+
+stage_robustness() {
+    need_fg
+    # Every adversarial program must die as a structured diagnostic
+    # (exit 1) under the default caps — not a crash (3), not a success
+    # (0), not a hang. `run` (not `check`) so runtime bombs count.
+    for f in examples/adversarial/*.fg; do
+        code=0
+        timeout 60 "$FG" run "$f" > /dev/null 2>&1 || code=$?
+        [ "$code" -eq 1 ] || { echo "FAIL: $f exited $code (want 1)"; exit 1; }
+    done
+
+    # Fixed-seed no-panic fuzz smoke: 1000 generated programs through
+    # the governed pipeline, zero panics, bounded wall-clock.
+    cargo test -q -p fg --test fuzz_pipeline --offline
+
+    # Fault injection is contained: error mode surfaces as a diagnostic
+    # (exit 1), panic mode as a caught internal error (exit 3) — on the
+    # sequential path and on the pooled path alike.
+    code=0
+    "$FG" check --inject-fault check.expr examples/fig5_accumulate.fg > /dev/null 2>&1 || code=$?
+    [ "$code" -eq 1 ] || { echo "FAIL: injected error exited $code (want 1)"; exit 1; }
+    code=0
+    "$FG" check --inject-fault check.expr:panic examples/fig5_accumulate.fg > /dev/null 2>&1 || code=$?
+    [ "$code" -eq 3 ] || { echo "FAIL: injected panic exited $code (want 3)"; exit 1; }
+    code=0
+    "$FG" --jobs 2 --inject-fault check.expr@1:panic \
+        check examples/fig5_accumulate.fg examples/fig6_overlapping.fg > "$CI_TMP/pool-fault.out" 2>&1 || code=$?
+    [ "$code" -eq 3 ] || { echo "FAIL: pooled injected panic exited $code (want 3)"; exit 1; }
+    grep -q "int" "$CI_TMP/pool-fault.out" \
+        || { echo "FAIL: pooled batch did not survive one worker's panic"; exit 1; }
+
+    # Grep gate: no panic!/unwrap() in the parser hot paths — both
+    # parsers must stay panic-free outside their #[cfg(test)] modules.
+    # The one sanctioned panic is the "injected fault" hook (panic-mode
+    # injection exists precisely to prove the isolation layer catches it).
+    for p in crates/fg/src/parser.rs crates/system-f/src/parser.rs; do
+        awk '/#\[cfg\(test\)\]/{exit}
+             /^[[:space:]]*\/\//{next}
+             /injected fault/{next}
+             /\.unwrap\(\)|panic!/{print FILENAME ":" NR ": " $0; bad=1}
+             END{exit bad}' "$p" \
+            || { echo "FAIL: panic site in $p hot path"; exit 1; }
+    done
+
+    # Grep gate: the congruence encoding hot path (typeeq.rs, between
+    # the markers) must stay allocation-free — no format!/String keys on
+    # the TyId -> TermId path that PR 4 removed them from.
+    awk '/--- begin congruence encoding/{inside=1; next}
+         /--- end congruence encoding/{inside=0}
+         inside && /^[[:space:]]*\/\//{next}
+         inside && /format!|String|to_string|to_owned|push_str/{print FILENAME ":" NR ": " $0; bad=1}
+         END{exit bad}' crates/fg/src/typeeq.rs \
+        || { echo "FAIL: string allocation in the congruence encoding hot path"; exit 1; }
+}
+
+stage_bench() {
+    need_fg
+    # Perf smoke gate: run the quick benchmark suite three times
+    # (scheduler noise only inflates a measurement, so the gate reduces
+    # bench-wise to the minimum), validate the committed artifacts and both fresh
+    # runs against the fg-bench/1 schema, then fail on a >25% per-group
+    # geomean regression in the gated groups relative to the committed
+    # quick-mode baseline.
+    for i in 1 2 3; do
+        "$FG" bench-json --quick --out "$CI_TMP/bench-$i.json" 2> /dev/null
+    done
+    python3 tools/bench_gate.py validate BENCH_PR4.json BENCH_PR5.json
+    python3 tools/bench_gate.py compare tools/bench_baseline_quick.json \
+        "$CI_TMP/bench-1.json" "$CI_TMP/bench-2.json" "$CI_TMP/bench-3.json"
+
+    # Parallel-throughput gate: jobs=4 must be >= 1.5x jobs=1 on the
+    # quick throughput batch. On a host with fewer than 4 cores the
+    # speed-up is physically unobtainable, so skip with a notice
+    # instead of asserting a falsehood.
+    cores=$(nproc 2> /dev/null || echo 1)
+    if [ "$cores" -ge 4 ]; then
+        python3 tools/bench_gate.py scaling "$CI_TMP/bench-1.json"
+    else
+        echo "bench: SKIP throughput scaling gate: host has $cores core(s), need >= 4"
+    fi
+}
+
+# ---------------------------------------------------------------------
+# driver
+# ---------------------------------------------------------------------
+
+ALL_STAGES="build test lint smoke robustness bench"
+RESULTS_FILE="$CI_TMP/results.txt"
+: > "$RESULTS_FILE"
+overall=0
+
+run_stage() {
+    name=$1
+    if [ "$overall" -ne 0 ]; then
+        echo "ci.sh: --- $name: skipped (earlier stage failed)"
+        printf '%s skipped -1 0\n' "$name" >> "$RESULTS_FILE"
+        return 0
+    fi
+    echo "ci.sh: === stage $name ==="
+    start=$(date +%s)
+    # Subshell with -e restored: the stage fails fast internally, while
+    # the driver survives to time it, record it, and write the summary.
+    set +e
+    ( set -eu; "stage_$name" )
+    rc=$?
+    set -e
+    seconds=$(( $(date +%s) - start ))
+    if [ "$rc" -eq 0 ]; then
+        echo "ci.sh: --- $name: ok (${seconds}s)"
+        printf '%s ok %s %s\n' "$name" "$rc" "$seconds" >> "$RESULTS_FILE"
+    else
+        echo "ci.sh: --- $name: FAILED (exit $rc after ${seconds}s)"
+        printf '%s failed %s %s\n' "$name" "$rc" "$seconds" >> "$RESULTS_FILE"
+        overall=1
+    fi
+}
+
+write_summary() {
+    python3 - "$RESULTS_FILE" "$SUMMARY" "$overall" <<'PYEOF'
+import json, sys
+rows = []
+with open(sys.argv[1]) as fh:
+    for line in fh:
+        name, status, rc, seconds = line.split()
+        rows.append({"name": name, "status": status,
+                     "exit": int(rc), "seconds": int(seconds)})
+doc = {"schema": "fg-ci/1", "ok": sys.argv[3] == "0", "stages": rows}
+with open(sys.argv[2], "w") as fh:
+    json.dump(doc, fh, indent=2)
+    fh.write("\n")
+PYEOF
+    echo "ci.sh: stage summary ($SUMMARY)"
+    awk '{printf "  %-12s %-8s %ss\n", $1, $2, $4}' "$RESULTS_FILE"
+}
+
+case "${1:-all}" in
+    -h|--help)
+        sed -n '2,18p' "$0"
+        exit 0
+        ;;
+esac
+
+stages="$*"
+[ -n "$stages" ] || stages=all
+[ "$stages" = all ] && stages=$ALL_STAGES
+for name in $stages; do
+    case " $ALL_STAGES " in
+        *" $name "*) ;;
+        *) echo "ci.sh: unknown stage \`$name' (stages: $ALL_STAGES, or all)"; exit 2 ;;
+    esac
 done
 
-# Fixed-seed no-panic fuzz smoke: 1000 generated programs through the
-# governed pipeline, asserting zero panics and bounded wall-clock.
-cargo test -q -p fg --test fuzz_pipeline --offline
-
-# Fault injection is contained: error mode surfaces as a diagnostic
-# (exit 1), panic mode as a caught internal error (exit 3).
-code=0
-"$FG" check --inject-fault check.expr examples/fig5_accumulate.fg > /dev/null 2>&1 || code=$?
-[ "$code" -eq 1 ] || { echo "FAIL: injected error exited $code (want 1)"; exit 1; }
-code=0
-"$FG" check --inject-fault check.expr:panic examples/fig5_accumulate.fg > /dev/null 2>&1 || code=$?
-[ "$code" -eq 3 ] || { echo "FAIL: injected panic exited $code (want 3)"; exit 1; }
-
-# Grep gate: no panic!/unwrap() in the parser hot paths — both parsers
-# must stay panic-free outside their #[cfg(test)] modules. The one
-# sanctioned panic is the "injected fault" hook (panic-mode injection
-# exists precisely to prove the isolation layer catches it).
-for p in crates/fg/src/parser.rs crates/system-f/src/parser.rs; do
-    awk '/#\[cfg\(test\)\]/{exit}
-         /^[[:space:]]*\/\//{next}
-         /injected fault/{next}
-         /\.unwrap\(\)|panic!/{print FILENAME ":" NR ": " $0; bad=1}
-         END{exit bad}' "$p" \
-        || { echo "FAIL: panic site in $p hot path"; exit 1; }
+for name in $stages; do
+    run_stage "$name"
 done
-
-# Grep gate: the congruence encoding hot path (typeeq.rs, between the
-# markers) must stay allocation-free — no format!/String keys on the
-# TyId -> TermId path that PR 4 removed them from.
-awk '/--- begin congruence encoding/{inside=1; next}
-     /--- end congruence encoding/{inside=0}
-     inside && /^[[:space:]]*\/\//{next}
-     inside && /format!|String|to_string|to_owned|push_str/{print FILENAME ":" NR ": " $0; bad=1}
-     END{exit bad}' crates/fg/src/typeeq.rs \
-    || { echo "FAIL: string allocation in the congruence encoding hot path"; exit 1; }
-
-# Perf smoke gate: run the quick benchmark suite twice (scheduler noise
-# only inflates a measurement, so the gate reduces bench-wise to the
-# minimum), validate the committed artifact and both fresh runs against
-# the fg-bench/1 schema, then fail on a >25% per-group geomean
-# regression in the model-lookup and congruence groups relative to the
-# committed quick-mode baseline.
-"$FG" bench-json --quick --out /tmp/fg-ci-bench-1.json 2> /dev/null
-"$FG" bench-json --quick --out /tmp/fg-ci-bench-2.json 2> /dev/null
-python3 tools/bench_gate.py validate BENCH_PR4.json
-python3 tools/bench_gate.py compare tools/bench_baseline_quick.json \
-    /tmp/fg-ci-bench-1.json /tmp/fg-ci-bench-2.json
-rm -f /tmp/fg-ci-bench-1.json /tmp/fg-ci-bench-2.json
-
-echo "ci.sh: all gates passed"
+write_summary
+if [ "$overall" -eq 0 ]; then
+    echo "ci.sh: all gates passed"
+else
+    echo "ci.sh: FAILED"
+fi
+exit "$overall"

@@ -80,11 +80,46 @@ pub fn run_suite(quick: bool) -> BenchReport {
         }
     }
 
+    // throughput — whole-pipeline batch checking through the persistent
+    // worker pool (`fg::pool`) at increasing widths. One iteration is
+    // one whole batch of THROUGHPUT_FILES files, so ns/iter converts to
+    // files/sec as `THROUGHPUT_FILES / (ns * 1e-9)`, and the ratio of
+    // the jobs=1 to jobs=4 means is the parallel speed-up the CI gate
+    // checks (tools/bench_gate.py scaling).
+    let sources: Vec<String> = (0..THROUGHPUT_FILES)
+        // Widths cycle so the batch is cost-skewed: the cheap files
+        // drain early and the pool's stealing has something to do.
+        .map(|i| crate::many_models_program(4 + (i % 4) * 8))
+        .collect();
+    for jobs in [1usize, 2, 4] {
+        let pool = fg::pool::WorkerPool::new(jobs).expect("spawn bench pool");
+        entries.push(entry("throughput", "check_batch", jobs, |b| {
+            b.iter(|| {
+                let tasks: Vec<_> = sources
+                    .iter()
+                    .map(|src| {
+                        let src = src.clone();
+                        move || {
+                            let expr = fg::parser::parse_expr(&src).expect("parses");
+                            black_box(fg::check_program(&expr).expect("checks"));
+                        }
+                    })
+                    .collect();
+                for r in pool.run_batch(tasks) {
+                    r.expect("no task panics");
+                }
+            })
+        }));
+    }
+
     BenchReport {
         harness: HARNESS.to_owned(),
         entries,
     }
 }
+
+/// Files per throughput-batch iteration.
+const THROUGHPUT_FILES: usize = 16;
 
 #[cfg(test)]
 mod tests {
@@ -103,7 +138,7 @@ mod tests {
             .expect("suite does not panic");
         assert_eq!(report.harness, HARNESS);
         // Every planned benchmark reported, every measurement nonzero.
-        assert_eq!(report.entries.len(), 4 + 3 + 5 + 3);
+        assert_eq!(report.entries.len(), 4 + 3 + 5 + 3 + 3);
         for e in &report.entries {
             assert!(e.iters >= 1, "{e:?}");
             assert!(e.total_ns > 0, "{e:?}");
@@ -112,5 +147,6 @@ mod tests {
         assert!(json.contains("\"schema\": \"fg-bench/1\""), "{json}");
         assert!(json.contains("worst_case_access"), "{json}");
         assert!(json.contains("nelson_oppen"), "{json}");
+        assert!(json.contains("check_batch"), "{json}");
     }
 }

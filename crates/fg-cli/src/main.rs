@@ -8,12 +8,24 @@
 //! fg explain <file.fg>...   explain model resolution and type equalities
 //! fg ast <file.fg>...       print the parsed AST (debug form)
 //! fg bench-json             run the benchmark suite, emit fg-bench/1 JSON
+//! fg serve --addr H:P       fg-rpc/1 check daemon over TCP
+//! fg rpc --addr H:P ...     one-shot fg-rpc/1 client (tests, scripts)
 //! ```
 //!
 //! Pass `-` as the file to read from stdin, or `--prelude` before the
 //! subcommand to wrap the program in the STL-flavoured prelude of
 //! `fg::stdlib`. Several files may be given; they are processed in order
 //! and the worst outcome determines the exit code.
+//!
+//! # Parallel batches and the check daemon
+//!
+//! `--jobs N` (or `--jobs auto`) runs a batch on a persistent pool of
+//! `N` worker threads (`fg::pool`): work-stealing dispatch, per-task
+//! panic isolation, deterministic input-order output, and a merged
+//! telemetry report with a `pool.*` counter group. `fg serve
+//! --addr 127.0.0.1:0` exposes the same pipeline as a line-delimited
+//! JSON-over-TCP daemon speaking `fg-rpc/1` (see DESIGN.md §12), with a
+//! content-hash compile cache; `fg rpc` is the matching client.
 //!
 //! # Exit codes
 //!
@@ -59,6 +71,7 @@
 //! tracing on and prints, per instantiation site, the model-resolution
 //! decision tree and the proof chain of every same-type constraint.
 
+use std::fmt::Write as _;
 use std::io::Read;
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -67,8 +80,10 @@ use telemetry::limits::{Budget, Limits};
 use telemetry::trace::Tracer;
 use telemetry::Metrics;
 
+mod batch;
 mod explain;
 mod repl;
+mod serve;
 
 /// Exit code: the program was rejected or failed at runtime.
 const EXIT_DIAGNOSTIC: u8 = 1;
@@ -82,39 +97,48 @@ const EXIT_CRASH: u8 = 3;
 /// bounds them.
 const WORKER_STACK: usize = 256 * 1024 * 1024;
 
+/// The full usage text, shared by `--help` (stdout, exit 0) and usage
+/// errors (stderr, exit 2).
+fn usage_text() -> &'static str {
+    "usage: fg [--prelude] [--profile] [--metrics-json <path>] [--trace <path>] [--trace-chrome <path>]\n\
+     \x20         [--fuel <n>] [--max-depth <n>] [--max-terms <n>] [--max-dict-nodes <n>] [--timeout-ms <n>]\n\
+     \x20         [--inject-fault <spec>] [--jobs <n|auto>]\n\
+     \x20         <check|translate|run|direct|elaborate|explain|vm|bytecode|fmt|ast> <file.fg|->...\n\
+     \x20  |  fg [--prelude] repl  |  fg bench-json [--quick] [--out <path>]\n\
+     \x20  |  fg serve --addr <host:port>  |  fg rpc --addr <host:port> <method> [file.fg|-]\n\
+     \n\
+     check      typecheck and print the F_G type\n\
+     translate  print the dictionary-passing System F translation\n\
+     run        translate, typecheck the output, and evaluate it\n\
+     direct     evaluate with the direct F_G interpreter\n\
+     elaborate  print the program with inferred type arguments inserted\n\
+     explain    explain model resolution and same-type proofs\n\
+     vm         translate, compile to bytecode, and run on the VM\n\
+     bytecode   print the compiled bytecode (disassembly)\n\
+     fmt        reformat the program\n\
+     ast        print the parsed AST\n\
+     repl       interactive session (no file argument)\n\
+     bench-json run the benchmark suite, write an fg-bench/1 report\n\
+     serve      fg-rpc/1 check daemon: line-delimited JSON over TCP\n\
+     rpc        one-shot fg-rpc/1 client: send one request, print the reply\n\
+     \n\
+     --prelude             wrap the program in the stdlib prelude\n\
+     --profile             print phase timings and counters to stderr\n\
+     --metrics-json <path> write an fg-metrics/1 JSON report (- for stdout)\n\
+     --trace <path>        write an fg-trace/1 JSONL trace (- for stdout)\n\
+     --trace-chrome <path> write a Chrome trace-event JSON trace (- for stdout)\n\
+     --fuel <n>            total work budget (0 or none = unlimited)\n\
+     --max-depth <n>       recursion-depth budget\n\
+     --max-terms <n>       congruence-node budget\n\
+     --max-dict-nodes <n>  dictionary-plan-node budget\n\
+     --timeout-ms <n>      wall-clock deadline in milliseconds\n\
+     --inject-fault <spec> arm fault points: point[@N][:panic], comma-separated\n\
+     --jobs <n|auto>       run the batch on a pool of n worker threads\n\
+     --help                print this help and exit"
+}
+
 fn usage() -> u8 {
-    eprintln!(
-        "usage: fg [--prelude] [--profile] [--metrics-json <path>] [--trace <path>] [--trace-chrome <path>]\n\
-         \x20         [--fuel <n>] [--max-depth <n>] [--max-terms <n>] [--max-dict-nodes <n>] [--timeout-ms <n>]\n\
-         \x20         [--inject-fault <spec>]\n\
-         \x20         <check|translate|run|direct|elaborate|explain|vm|bytecode|fmt|ast> <file.fg|->...\n\
-         \x20  |  fg [--prelude] repl  |  fg bench-json [--quick] [--out <path>]\n\
-         \n\
-         check      typecheck and print the F_G type\n\
-         translate  print the dictionary-passing System F translation\n\
-         run        translate, typecheck the output, and evaluate it\n\
-         direct     evaluate with the direct F_G interpreter\n\
-         elaborate  print the program with inferred type arguments inserted\n\
-         explain    explain model resolution and same-type proofs\n\
-         vm         translate, compile to bytecode, and run on the VM\n\
-         bytecode   print the compiled bytecode (disassembly)\n\
-         fmt        reformat the program\n\
-         ast        print the parsed AST\n\
-         repl       interactive session (no file argument)\n\
-         bench-json run the benchmark suite, write an fg-bench/1 report\n\
-         \n\
-         --prelude             wrap the program in the stdlib prelude\n\
-         --profile             print phase timings and counters to stderr\n\
-         --metrics-json <path> write an fg-metrics/1 JSON report (- for stdout)\n\
-         --trace <path>        write an fg-trace/1 JSONL trace (- for stdout)\n\
-         --trace-chrome <path> write a Chrome trace-event JSON trace (- for stdout)\n\
-         --fuel <n>            total work budget (0 or none = unlimited)\n\
-         --max-depth <n>       recursion-depth budget\n\
-         --max-terms <n>       congruence-node budget\n\
-         --max-dict-nodes <n>  dictionary-plan-node budget\n\
-         --timeout-ms <n>      wall-clock deadline in milliseconds\n\
-         --inject-fault <spec> arm fault points: point[@N][:panic], comma-separated"
-    );
+    eprintln!("{}", usage_text());
     EXIT_USAGE
 }
 
@@ -136,6 +160,10 @@ struct Flags {
     max_dict_nodes: Option<Option<u64>>,
     timeout_ms: Option<Option<u64>>,
     inject_fault: Option<String>,
+    /// `--jobs`: pool width for batch mode. `None` = sequential legacy
+    /// path, `Some(0)` = `auto` (one worker per available core).
+    jobs: Option<usize>,
+    help: bool,
 }
 
 impl Flags {
@@ -155,6 +183,21 @@ impl Flags {
             }
         }
         l
+    }
+
+    /// Whether any flag asked for an event trace (which forces per-file
+    /// tracers on and disables the batch compile cache).
+    fn wants_trace(&self, cmd: &str) -> bool {
+        cmd == "explain" || self.trace.is_some() || self.trace_chrome.is_some()
+    }
+
+    /// The pool width `--jobs` asked for, with `auto` (0) resolved to
+    /// the number of available cores.
+    fn jobs_resolved(&self) -> usize {
+        match self.jobs {
+            Some(0) | None => std::thread::available_parallelism().map_or(1, usize::from),
+            Some(n) => n,
+        }
     }
 }
 
@@ -188,6 +231,23 @@ fn parse_flags(args: &mut Vec<String>) -> Result<Flags, u8> {
             "--profile" => {
                 flags.profile = true;
                 args.remove(i);
+            }
+            "--help" | "-h" => {
+                flags.help = true;
+                args.remove(i);
+            }
+            "--jobs" => {
+                let raw = take_value(args)?;
+                let jobs = if raw.eq_ignore_ascii_case("auto") {
+                    Some(0)
+                } else {
+                    raw.parse::<usize>().ok().filter(|&n| n > 0)
+                };
+                let Some(jobs) = jobs else {
+                    eprintln!("fg: --jobs: `{raw}` is not a positive number or `auto`");
+                    return Err(usage());
+                };
+                flags.jobs = Some(jobs);
             }
             "--metrics-json" => flags.metrics_json = Some(take_value(args)?),
             "--trace" => flags.trace = Some(take_value(args)?),
@@ -223,6 +283,10 @@ fn real_main() -> u8 {
         Ok(f) => f,
         Err(code) => return code,
     };
+    if flags.help {
+        println!("{}", usage_text());
+        return 0;
+    }
     // Arm fault injection (flag wins over FG_FAULT) before any pipeline
     // work runs.
     let fault_spec = flags
@@ -240,6 +304,12 @@ fn real_main() -> u8 {
     }
     if args.first().map(String::as_str) == Some("bench-json") {
         return bench_json(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("serve") {
+        return serve::serve_main(&flags, &args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("rpc") {
+        return serve::rpc_main(&flags, &args[1..]);
     }
     if args.as_slice() == ["repl"] {
         let stdin = std::io::stdin();
@@ -265,7 +335,12 @@ fn real_main() -> u8 {
     }
     // Batch mode: every file runs in an isolated worker thread, so one
     // crashing input cannot take down the rest of the batch. The exit
-    // code is the worst outcome seen.
+    // code is the worst outcome seen. With `--jobs`, the files are
+    // dispatched onto a persistent work-stealing pool instead of one
+    // fresh thread per file.
+    if flags.jobs.is_some() {
+        return batch::run_batch(cmd, paths, &flags);
+    }
     let mut worst = 0u8;
     for path in paths {
         worst = worst.max(run_file(cmd, path, &flags));
@@ -331,74 +406,126 @@ fn bench_json(args: &[String]) -> u8 {
     }
 }
 
+/// One request's buffered outcome: the exit code plus everything the
+/// pipeline would have printed. Buffering is what makes the pipeline
+/// reentrant — the pool prints batches in input order, the daemon ships
+/// output over the wire, and the compile cache replays it verbatim.
+struct RunOutput {
+    code: u8,
+    stdout: String,
+    stderr: String,
+    metrics: Metrics,
+}
+
+/// Extracts a human-readable message from a caught panic payload.
+fn panic_message(payload: &dyn std::any::Any) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_owned())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "unknown panic".to_owned())
+}
+
 /// Runs one file on a dedicated worker thread, translating a panic into
 /// [`EXIT_CRASH`] instead of aborting the batch.
 fn run_file(cmd: &str, path: &str, flags: &Flags) -> u8 {
+    // `explain` always needs the event record; otherwise tracing is on
+    // only when an export was requested.
+    let tracer = if flags.wants_trace(cmd) {
+        Tracer::enabled()
+    } else {
+        Tracer::disabled()
+    };
     let outcome = std::thread::scope(|scope| {
         let handle = std::thread::Builder::new()
             .name(format!("fg-{cmd}"))
             .stack_size(WORKER_STACK)
-            .spawn_scoped(scope, || pipeline(cmd, path, flags));
+            .spawn_scoped(scope, || load_and_run(cmd, path, flags, &tracer));
         match handle {
             Ok(h) => h.join(),
             Err(e) => {
                 eprintln!("fg: cannot spawn worker thread: {e}");
-                Ok(EXIT_CRASH)
+                Ok(RunOutput {
+                    code: EXIT_CRASH,
+                    stdout: String::new(),
+                    stderr: String::new(),
+                    metrics: Metrics::new(),
+                })
             }
         }
     });
     match outcome {
-        Ok(code) => code,
+        Ok(output) => {
+            print!("{}", output.stdout);
+            eprint!("{}", output.stderr);
+            let emitted = finish(flags, output.metrics, &tracer, cmd, path);
+            match (output.code, emitted) {
+                (0, Err(code)) => code,
+                (code, _) => code,
+            }
+        }
         Err(payload) => {
-            let msg = payload
-                .downcast_ref::<&str>()
-                .map(|s| (*s).to_owned())
-                .or_else(|| payload.downcast_ref::<String>().cloned())
-                .unwrap_or_else(|| "unknown panic".to_owned());
+            let msg = panic_message(&*payload);
             eprintln!("fg: internal error: {path}: pipeline crashed: {msg}");
             EXIT_CRASH
         }
     }
 }
 
-/// Parses, checks, and runs one file according to `cmd`, emitting
-/// telemetry on success *and* failure paths.
-fn pipeline(cmd: &str, path: &str, flags: &Flags) -> u8 {
-    let mut metrics = Metrics::new();
-    metrics.set_command(cmd);
-    metrics.set_source(path);
-    let budget = Arc::new(Budget::new(flags.limits()));
-    // `explain` always needs the event record; otherwise tracing is on
-    // only when an export was requested.
-    let tracer = if cmd == "explain" || flags.trace.is_some() || flags.trace_chrome.is_some() {
-        Tracer::enabled()
-    } else {
-        Tracer::disabled()
-    };
-
+/// Reads `path`, applies the prelude, and runs the pipeline, buffering
+/// all output.
+fn load_and_run(cmd: &str, path: &str, flags: &Flags, tracer: &Tracer) -> RunOutput {
     let source = match read_source(path) {
         Ok(s) => s,
         Err(e) => {
-            eprintln!("fg: cannot read {path}: {e}");
-            return EXIT_DIAGNOSTIC;
+            return RunOutput {
+                code: EXIT_DIAGNOSTIC,
+                stdout: String::new(),
+                stderr: format!("fg: cannot read {path}: {e}\n"),
+                metrics: Metrics::new(),
+            }
         }
     };
-    let full = if flags.use_prelude {
-        fg::stdlib::with_prelude(&source)
-    } else {
-        source
-    };
+    run_request(cmd, path, &source, flags.use_prelude, flags.limits(), tracer)
+}
 
-    let status = stages(cmd, path, &full, &budget, &tracer, &mut metrics);
-    record_limits(&mut metrics, &budget, &tracer);
-    let emitted = finish(flags, metrics, &tracer, cmd, path);
-    match (status, emitted) {
-        (Ok(()), Ok(())) => 0,
-        (Ok(()), Err(code)) | (Err(code), _) => code,
+/// The reentrant pipeline entry point: parses, checks, and runs one
+/// program according to `cmd` under a fresh budget, emitting telemetry
+/// on success *and* failure paths. Shared by the sequential driver, the
+/// `--jobs` pool, and `fg serve`.
+fn run_request(
+    cmd: &str,
+    path: &str,
+    source: &str,
+    use_prelude: bool,
+    limits: Limits,
+    tracer: &Tracer,
+) -> RunOutput {
+    let mut metrics = Metrics::new();
+    metrics.set_command(cmd);
+    metrics.set_source(path);
+    let budget = Arc::new(Budget::new(limits));
+    let full = if use_prelude {
+        fg::stdlib::with_prelude(source)
+    } else {
+        source.to_owned()
+    };
+    let mut out = String::new();
+    let mut err = String::new();
+    let status = stages(cmd, path, &full, &budget, tracer, &mut metrics, &mut out, &mut err);
+    record_limits(&mut metrics, &budget, tracer);
+    RunOutput {
+        code: status.err().unwrap_or(0),
+        stdout: out,
+        stderr: err,
+        metrics,
     }
 }
 
-/// The command pipeline proper: everything from parse to output.
+/// The command pipeline proper: everything from parse to output. All
+/// output goes into the `out`/`err` buffers so the caller decides where
+/// it lands (terminal, batch slot, RPC response, cache entry).
+#[allow(clippy::too_many_arguments)]
 fn stages(
     cmd: &str,
     path: &str,
@@ -406,6 +533,8 @@ fn stages(
     budget: &Arc<Budget>,
     tracer: &Tracer,
     metrics: &mut Metrics,
+    out: &mut String,
+    err: &mut String,
 ) -> Result<(), u8> {
     let sp = tracer.begin("parse", vec![("source", path.into())]);
     let parsed = metrics.phase("parse", || {
@@ -415,17 +544,17 @@ fn stages(
     let expr = match parsed {
         Ok(e) => e,
         Err(e) => {
-            eprintln!("fg: parse error: {e}");
+            let _ = writeln!(err, "fg: parse error: {e}");
             return Err(EXIT_DIAGNOSTIC);
         }
     };
 
     if cmd == "ast" {
-        println!("{expr:#?}");
+        let _ = writeln!(out, "{expr:#?}");
         return Ok(());
     }
     if cmd == "fmt" {
-        print!("{}", fg::format::format_program(&expr));
+        let _ = write!(out, "{}", fg::format::format_program(&expr));
         return Ok(());
     }
     let sp = tracer.begin("check", vec![("source", path.into())]);
@@ -438,7 +567,7 @@ fn stages(
     let compiled = match checked {
         Ok(c) => c,
         Err(e) => {
-            eprintln!("fg: {}", e.render(full));
+            let _ = writeln!(err, "fg: {}", e.render(full));
             return Err(EXIT_DIAGNOSTIC);
         }
     };
@@ -446,48 +575,48 @@ fn stages(
 
     match cmd {
         "check" => {
-            println!("{}", compiled.ty);
+            let _ = writeln!(out, "{}", compiled.ty);
             Ok(())
         }
         "explain" => {
-            print!("{}", explain::render(&tracer.events(), full));
+            let _ = write!(out, "{}", explain::render(&tracer.events(), full));
             Ok(())
         }
         "elaborate" => {
-            println!("{}", compiled.elaborated);
+            let _ = writeln!(out, "{}", compiled.elaborated);
             Ok(())
         }
         "direct" => {
             let sp = tracer.begin("direct_eval", Vec::new());
-            let out = metrics.phase("direct_eval", || {
+            let outcome = metrics.phase("direct_eval", || {
                 fg::interp::run_direct_budgeted(&compiled.elaborated, tracer.clone(), budget.clone())
             });
             tracer.end(sp);
-            match out {
+            match outcome {
                 Ok((v, stats)) => {
                     record_eval_stats(metrics, &stats);
-                    println!("{v}");
+                    let _ = writeln!(out, "{v}");
                     Ok(())
                 }
                 Err(e) => {
-                    eprintln!("fg: runtime error: {e}");
+                    let _ = writeln!(err, "fg: runtime error: {e}");
                     Err(EXIT_DIAGNOSTIC)
                 }
             }
         }
         "translate" => {
-            println!("{}", compiled.term);
+            let _ = writeln!(out, "{}", compiled.term);
             Ok(())
         }
         "bytecode" => {
-            let out = metrics.phase("vm_compile", || system_f::vm::compile(&compiled.term));
-            match out {
+            let outcome = metrics.phase("vm_compile", || system_f::vm::compile(&compiled.term));
+            match outcome {
                 Ok(p) => {
-                    print!("{p}");
+                    let _ = write!(out, "{p}");
                     Ok(())
                 }
                 Err(e) => {
-                    eprintln!("fg: compile error: {e}");
+                    let _ = writeln!(err, "fg: compile error: {e}");
                     Err(EXIT_DIAGNOSTIC)
                 }
             }
@@ -499,24 +628,24 @@ fn stages(
             match program {
                 Ok(p) => {
                     let sp = tracer.begin("vm_run", Vec::new());
-                    let out = metrics.phase("vm_run", || {
+                    let outcome = metrics.phase("vm_run", || {
                         system_f::vm::run_profiled_budgeted(&p, budget)
                     });
                     tracer.end(sp);
-                    match out {
+                    match outcome {
                         Ok((v, stats)) => {
                             record_vm_stats(metrics, &stats);
-                            println!("{v}");
+                            let _ = writeln!(out, "{v}");
                             Ok(())
                         }
                         Err(e) => {
-                            eprintln!("fg: vm error: {e}");
+                            let _ = writeln!(err, "fg: vm error: {e}");
                             Err(EXIT_DIAGNOSTIC)
                         }
                     }
                 }
                 Err(e) => {
-                    eprintln!("fg: compile error: {e}");
+                    let _ = writeln!(err, "fg: compile error: {e}");
                     Err(EXIT_DIAGNOSTIC)
                 }
             }
@@ -526,24 +655,27 @@ fn stages(
             let well_typed = metrics.phase("sf_typecheck", || system_f::typecheck(&compiled.term));
             tracer.end(sp);
             if let Err(e) = well_typed {
-                eprintln!("fg: internal error: translation is ill-typed: {e}");
+                let _ = writeln!(err, "fg: internal error: translation is ill-typed: {e}");
                 return Err(EXIT_DIAGNOSTIC);
             }
             let sp = tracer.begin("sf_eval", Vec::new());
-            let out = metrics.phase("sf_eval", || system_f::eval_budgeted(&compiled.term, budget));
+            let outcome = metrics.phase("sf_eval", || system_f::eval_budgeted(&compiled.term, budget));
             tracer.end(sp);
-            match out {
+            match outcome {
                 Ok(v) => {
-                    println!("{v}");
+                    let _ = writeln!(out, "{v}");
                     Ok(())
                 }
                 Err(e) => {
-                    eprintln!("fg: runtime error: {e}");
+                    let _ = writeln!(err, "fg: runtime error: {e}");
                     Err(EXIT_DIAGNOSTIC)
                 }
             }
         }
-        _ => Err(usage()),
+        other => {
+            let _ = writeln!(err, "fg: unknown command `{other}`");
+            Err(EXIT_USAGE)
+        }
     }
 }
 
@@ -637,6 +769,36 @@ fn record_limits(metrics: &mut Metrics, budget: &Budget, tracer: &Tracer) {
                 ("limit", x.limit.into()),
             ],
         );
+    }
+}
+
+/// A cached request outcome: exit code plus the buffered streams. The
+/// value a [`fg::pool::CompileCache`] replays on a hit.
+type CachedRun = (u8, String, String);
+
+/// The pool's dispatch and cache counters (the `pool` counter group),
+/// merged into the batch report and served by the daemon's `stats`
+/// method.
+fn record_pool_stats(
+    metrics: &mut Metrics,
+    workers: usize,
+    stats: &fg::pool::PoolStats,
+    cache: &fg::pool::CompileCache<CachedRun>,
+) {
+    for (key, value) in [
+        ("workers", workers as u64),
+        ("jobs", stats.jobs),
+        ("steals", stats.steals),
+        ("queue_depth_peak", stats.queue_depth_peak),
+        ("panics", stats.panics),
+        ("cache_hits", cache.hits()),
+        ("cache_misses", cache.misses()),
+        ("cache_entries", cache.len() as u64),
+    ] {
+        metrics.set_counter("pool", key, value);
+    }
+    for (id, ns) in stats.worker_busy_ns.iter().enumerate() {
+        metrics.set_counter("pool", &format!("worker{id}_busy_ns"), *ns);
     }
 }
 

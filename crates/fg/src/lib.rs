@@ -59,6 +59,7 @@
 //! | [`check`] | the typechecker and translation to System F (Figures 9, 13) |
 //! | [`interp`] | direct big-step interpreter (differential oracle) |
 //! | [`limits`] | resource budgets: governed, panic-free pipeline entry points |
+//! | [`pool`] | persistent worker pool + compile cache for `--jobs`/`fg serve` |
 //! | [`pretty`] | pretty-printer for the surface syntax |
 //! | [`stdlib`] | an STL-flavoured concept library written in F_G |
 //! | [`corpus`] | the paper's figures as runnable programs |
@@ -80,6 +81,7 @@ pub mod linalg;
 pub mod interp;
 pub mod limits;
 pub mod parser;
+pub mod pool;
 pub mod pretty;
 pub mod rty;
 pub mod stdlib;

@@ -50,6 +50,7 @@
 #![warn(missing_docs)]
 
 pub mod fault;
+pub mod json;
 pub mod limits;
 pub mod trace;
 
@@ -141,6 +142,31 @@ impl Metrics {
             .find(|(k, _)| k == key)
             .expect("key just ensured");
         slot.1 = value;
+    }
+
+    /// Merges another registry into this one: phase times and counters
+    /// accumulate (saturating), with `other`'s groups and keys appended
+    /// in their own insertion order when new. This is the aggregation
+    /// primitive behind `fg --jobs N` and `fg serve`: each pooled worker
+    /// collects into a private `Metrics` on its own thread, and the
+    /// driver folds the per-worker sinks into one `fg-metrics/1` report.
+    /// The command/source labels of `self` win; `other`'s fill in only
+    /// if unset.
+    pub fn merge(&mut self, other: &Metrics) {
+        if self.command.is_none() {
+            self.command.clone_from(&other.command);
+        }
+        if self.source.is_none() {
+            self.source.clone_from(&other.source);
+        }
+        for (name, ns) in &other.phases {
+            self.add_phase_ns(name, *ns);
+        }
+        for (group, entries) in &other.groups {
+            for (key, value) in entries {
+                self.add_counter(group, key, *value);
+            }
+        }
     }
 
     /// Reads counter `group.key`, if present.
@@ -493,6 +519,34 @@ mod tests {
         let out = m.phase("work", || 41 + 1);
         assert_eq!(out, 42);
         assert!(m.phase_ns("work").is_some());
+    }
+
+    #[test]
+    fn merge_accumulates_phases_and_counters() {
+        let mut a = Metrics::new();
+        a.set_command("check");
+        a.add_phase_ns("parse", 10);
+        a.add_counter("check", "model_lookups", 2);
+
+        let mut b = Metrics::new();
+        b.set_command("ignored");
+        b.set_source("worker-1");
+        b.add_phase_ns("parse", 5);
+        b.add_phase_ns("check_translate", 7);
+        b.add_counter("check", "model_lookups", 3);
+        b.add_counter("pool", "steals", 1);
+
+        a.merge(&b);
+        // Existing labels win; unset ones fill in.
+        assert_eq!(a.command.as_deref(), Some("check"));
+        assert_eq!(a.source.as_deref(), Some("worker-1"));
+        assert_eq!(a.phase_ns("parse"), Some(15));
+        assert_eq!(a.phase_ns("check_translate"), Some(7));
+        assert_eq!(a.counter("check", "model_lookups"), Some(5));
+        assert_eq!(a.counter("pool", "steals"), Some(1));
+        // New groups land after existing ones.
+        let groups: Vec<&str> = a.groups().map(|(g, _)| g).collect();
+        assert_eq!(groups, ["check", "pool"]);
     }
 
     #[test]

@@ -399,68 +399,7 @@ impl Tracer {
     /// Renders the collected record as `fg-trace/1` JSONL (see the
     /// [module docs](self) for the line grammar).
     pub fn to_jsonl(&self, command: &str, source: &str) -> String {
-        let events = self.events();
-        let mut out = String::new();
-        out.push_str("{\"schema\":");
-        push_json_str(&mut out, TRACE_SCHEMA);
-        out.push_str(",\"command\":");
-        push_json_str(&mut out, command);
-        out.push_str(",\"source\":");
-        push_json_str(&mut out, source);
-        let _ = write!(out, ",\"events\":{}", events.len());
-        let _ = write!(out, ",\"dropped\":{}", self.dropped());
-        out.push_str("}\n");
-        for e in &events {
-            match e {
-                Event::Begin {
-                    span,
-                    parent,
-                    name,
-                    ts_ns,
-                    attrs,
-                } => {
-                    let _ = write!(out, "{{\"ev\":\"begin\",\"span\":{span}");
-                    if let Some(p) = parent {
-                        let _ = write!(out, ",\"parent\":{p}");
-                    }
-                    out.push_str(",\"name\":");
-                    push_json_str(&mut out, name);
-                    let _ = write!(out, ",\"ts_ns\":{ts_ns}");
-                    push_attrs(&mut out, attrs);
-                    out.push_str("}\n");
-                }
-                Event::End {
-                    span,
-                    name,
-                    ts_ns,
-                    attrs,
-                } => {
-                    let _ = write!(out, "{{\"ev\":\"end\",\"span\":{span}");
-                    out.push_str(",\"name\":");
-                    push_json_str(&mut out, name);
-                    let _ = write!(out, ",\"ts_ns\":{ts_ns}");
-                    push_attrs(&mut out, attrs);
-                    out.push_str("}\n");
-                }
-                Event::Instant {
-                    span,
-                    name,
-                    ts_ns,
-                    attrs,
-                } => {
-                    out.push_str("{\"ev\":\"instant\"");
-                    if let Some(s) = span {
-                        let _ = write!(out, ",\"span\":{s}");
-                    }
-                    out.push_str(",\"name\":");
-                    push_json_str(&mut out, name);
-                    let _ = write!(out, ",\"ts_ns\":{ts_ns}");
-                    push_attrs(&mut out, attrs);
-                    out.push_str("}\n");
-                }
-            }
-        }
-        out
+        render_jsonl(command, source, &self.events(), self.dropped())
     }
 
     /// Renders the collected record as Chrome trace-event JSON: one
@@ -468,61 +407,204 @@ impl Tracer {
     /// attributes in `args`. Load the file in Perfetto or
     /// `chrome://tracing`.
     pub fn to_chrome_json(&self) -> String {
-        let events = self.events();
-        let mut out = String::from("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n");
-        let mut first = true;
-        for e in &events {
-            if !first {
-                out.push_str(",\n");
-            }
-            first = false;
-            let (ph, name, ts_ns, attrs, span) = match e {
-                Event::Begin {
-                    name, ts_ns, attrs, span, ..
-                } => ("B", *name, *ts_ns, attrs, Some(*span)),
-                Event::End {
-                    name, ts_ns, attrs, span, ..
-                } => ("E", *name, *ts_ns, attrs, Some(*span)),
-                Event::Instant {
-                    name, ts_ns, attrs, span, ..
-                } => ("i", *name, *ts_ns, attrs, *span),
-            };
-            out.push_str("{\"name\":");
-            push_json_str(&mut out, name);
-            let _ = write!(
-                out,
-                ",\"ph\":\"{ph}\",\"pid\":1,\"tid\":1,\"ts\":{}.{:03}",
-                ts_ns / 1000,
-                ts_ns % 1000
-            );
-            if ph == "i" {
-                out.push_str(",\"s\":\"t\"");
-            }
-            out.push_str(",\"args\":{");
-            let mut first_attr = true;
-            if let Some(s) = span {
-                let _ = write!(out, "\"span\":{s}");
-                first_attr = false;
-            }
-            for (k, v) in attrs {
-                if !first_attr {
-                    out.push(',');
+        render_chrome_json(&self.events())
+    }
+}
+
+/// Renders an event record as `fg-trace/1` JSONL — the emitter behind
+/// [`Tracer::to_jsonl`], exposed so merged multi-worker records (see
+/// [`merge_worker_events`]) share the exact same line grammar.
+pub fn render_jsonl(command: &str, source: &str, events: &[Event], dropped: u64) -> String {
+    let mut out = String::new();
+    out.push_str("{\"schema\":");
+    push_json_str(&mut out, TRACE_SCHEMA);
+    out.push_str(",\"command\":");
+    push_json_str(&mut out, command);
+    out.push_str(",\"source\":");
+    push_json_str(&mut out, source);
+    let _ = write!(out, ",\"events\":{}", events.len());
+    let _ = write!(out, ",\"dropped\":{dropped}");
+    out.push_str("}\n");
+    for e in events {
+        match e {
+            Event::Begin {
+                span,
+                parent,
+                name,
+                ts_ns,
+                attrs,
+            } => {
+                let _ = write!(out, "{{\"ev\":\"begin\",\"span\":{span}");
+                if let Some(p) = parent {
+                    let _ = write!(out, ",\"parent\":{p}");
                 }
-                first_attr = false;
-                push_json_str(&mut out, k);
-                out.push(':');
-                match v {
-                    AttrValue::Str(s) => push_json_str(&mut out, s),
-                    AttrValue::U64(n) => {
-                        let _ = write!(out, "{n}");
+                out.push_str(",\"name\":");
+                push_json_str(&mut out, name);
+                let _ = write!(out, ",\"ts_ns\":{ts_ns}");
+                push_attrs(&mut out, attrs);
+                out.push_str("}\n");
+            }
+            Event::End {
+                span,
+                name,
+                ts_ns,
+                attrs,
+            } => {
+                let _ = write!(out, "{{\"ev\":\"end\",\"span\":{span}");
+                out.push_str(",\"name\":");
+                push_json_str(&mut out, name);
+                let _ = write!(out, ",\"ts_ns\":{ts_ns}");
+                push_attrs(&mut out, attrs);
+                out.push_str("}\n");
+            }
+            Event::Instant {
+                span,
+                name,
+                ts_ns,
+                attrs,
+            } => {
+                out.push_str("{\"ev\":\"instant\"");
+                if let Some(s) = span {
+                    let _ = write!(out, ",\"span\":{s}");
+                }
+                out.push_str(",\"name\":");
+                push_json_str(&mut out, name);
+                let _ = write!(out, ",\"ts_ns\":{ts_ns}");
+                push_attrs(&mut out, attrs);
+                out.push_str("}\n");
+            }
+        }
+    }
+    out
+}
+
+/// Renders an event record as Chrome trace-event JSON — the emitter
+/// behind [`Tracer::to_chrome_json`], shared with merged multi-worker
+/// records.
+pub fn render_chrome_json(events: &[Event]) -> String {
+    let mut out = String::from("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n");
+    let mut first = true;
+    for e in events {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        let (ph, name, ts_ns, attrs, span) = match e {
+            Event::Begin {
+                name, ts_ns, attrs, span, ..
+            } => ("B", *name, *ts_ns, attrs, Some(*span)),
+            Event::End {
+                name, ts_ns, attrs, span, ..
+            } => ("E", *name, *ts_ns, attrs, Some(*span)),
+            Event::Instant {
+                name, ts_ns, attrs, span, ..
+            } => ("i", *name, *ts_ns, attrs, *span),
+        };
+        out.push_str("{\"name\":");
+        push_json_str(&mut out, name);
+        let _ = write!(
+            out,
+            ",\"ph\":\"{ph}\",\"pid\":1,\"tid\":1,\"ts\":{}.{:03}",
+            ts_ns / 1000,
+            ts_ns % 1000
+        );
+        if ph == "i" {
+            out.push_str(",\"s\":\"t\"");
+        }
+        out.push_str(",\"args\":{");
+        let mut first_attr = true;
+        if let Some(s) = span {
+            let _ = write!(out, "\"span\":{s}");
+            first_attr = false;
+        }
+        for (k, v) in attrs {
+            if !first_attr {
+                out.push(',');
+            }
+            first_attr = false;
+            push_json_str(&mut out, k);
+            out.push(':');
+            match v {
+                AttrValue::Str(s) => push_json_str(&mut out, s),
+                AttrValue::U64(n) => {
+                    let _ = write!(out, "{n}");
+                }
+            }
+        }
+        out.push_str("}}");
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Merges per-worker event records into one, as collected by the
+/// `--jobs` batch driver and `fg serve`: each worker traces into its own
+/// [`Tracer`] (created together at batch start, so timestamps share one
+/// epoch to within thread-spawn jitter), and the driver folds the
+/// snapshots here. Span ids are renumbered with a per-worker offset so
+/// they stay unique, root spans are tagged with a `worker` attribute,
+/// and the merged record is ordered by timestamp. Returns the merged
+/// events plus the summed drop count.
+pub fn merge_worker_events(parts: Vec<(Vec<Event>, u64)>) -> (Vec<Event>, u64) {
+    let mut merged = Vec::new();
+    let mut dropped = 0u64;
+    let mut offset = 0u64;
+    for (worker, (events, part_dropped)) in parts.into_iter().enumerate() {
+        dropped += part_dropped;
+        let mut max_span = 0u64;
+        for e in events {
+            let e = match e {
+                Event::Begin {
+                    span,
+                    parent,
+                    name,
+                    ts_ns,
+                    mut attrs,
+                } => {
+                    max_span = max_span.max(span);
+                    if parent.is_none() {
+                        attrs.push(("worker", AttrValue::U64(worker as u64)));
+                    }
+                    Event::Begin {
+                        span: span + offset,
+                        parent: parent.map(|p| p + offset),
+                        name,
+                        ts_ns,
+                        attrs,
                     }
                 }
-            }
-            out.push_str("}}");
+                Event::End {
+                    span,
+                    name,
+                    ts_ns,
+                    attrs,
+                } => {
+                    max_span = max_span.max(span);
+                    Event::End {
+                        span: span + offset,
+                        name,
+                        ts_ns,
+                        attrs,
+                    }
+                }
+                Event::Instant {
+                    span,
+                    name,
+                    ts_ns,
+                    attrs,
+                } => Event::Instant {
+                    span: span.map(|s| s + offset),
+                    name,
+                    ts_ns,
+                    attrs,
+                },
+            };
+            merged.push(e);
         }
-        out.push_str("\n]}\n");
-        out
+        offset += max_span;
     }
+    merged.sort_by_key(Event::ts_ns);
+    (merged, dropped)
 }
 
 fn push_attrs(out: &mut String, attrs: &Attrs) {
@@ -729,6 +811,50 @@ mod tests {
 
     fn attr(events: &[Event], idx: usize, key: &str) -> Option<String> {
         events[idx].attr(key).map(AttrValue::render)
+    }
+
+    #[test]
+    fn merge_worker_events_renumbers_and_tags_workers() {
+        let a = Tracer::enabled();
+        let sp = a.begin("check", Vec::new());
+        a.instant("model_selected", Vec::new());
+        a.end(sp);
+        let b = Tracer::enabled();
+        let sp = b.begin("check", Vec::new());
+        b.end(sp);
+
+        let (merged, dropped) =
+            merge_worker_events(vec![(a.events(), 0), (b.events(), 3)]);
+        assert_eq!(dropped, 3);
+        assert_eq!(merged.len(), 5);
+        // Span ids stay unique across workers: worker 0 keeps span 1,
+        // worker 1's span 1 is shifted past worker 0's max.
+        let mut spans: Vec<u64> = merged
+            .iter()
+            .filter_map(|e| match e {
+                Event::Begin { span, .. } => Some(*span),
+                _ => None,
+            })
+            .collect();
+        spans.sort_unstable();
+        assert_eq!(spans, [1, 2]);
+        // Root spans carry the worker tag.
+        let workers: Vec<u64> = merged
+            .iter()
+            .filter(|e| matches!(e, Event::Begin { .. }))
+            .filter_map(|e| e.attr("worker").and_then(AttrValue::as_u64))
+            .collect();
+        assert_eq!(workers.len(), 2);
+        assert!(workers.contains(&0) && workers.contains(&1), "{workers:?}");
+        // Timestamp-ordered, and still renderable through the shared
+        // emitters.
+        assert!(merged.windows(2).all(|w| w[0].ts_ns() <= w[1].ts_ns()));
+        let jsonl = render_jsonl("check", "batch", &merged, dropped);
+        assert!(jsonl.starts_with("{\"schema\":\"fg-trace/1\""), "{jsonl}");
+        assert!(jsonl.contains("\"events\":5"), "{jsonl}");
+        assert!(jsonl.contains("\"dropped\":3"), "{jsonl}");
+        let chrome = render_chrome_json(&merged);
+        assert!(chrome.contains("\"ph\":\"B\""), "{chrome}");
     }
 
     #[test]

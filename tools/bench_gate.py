@@ -4,6 +4,7 @@
 Usage:
     bench_gate.py validate FILE...
     bench_gate.py compare BASELINE CURRENT...
+    bench_gate.py scaling FILE [MIN_SPEEDUP]
 
 ``validate`` strictly checks each FILE against the fg-bench/1 schema
 emitted by ``fg bench-json`` and the vendored criterion harness:
@@ -18,14 +19,21 @@ they are reduced bench-wise to their minimum first, because scheduler
 noise only ever inflates a measurement. The gate fails when a gated
 group's reduced geomean exceeds THRESHOLD x the baseline's geomean.
 Per-bench ratios are printed for diagnosis either way.
+
+``scaling`` reads the ``throughput/check_batch`` benches of FILE and
+fails unless the jobs=4 batch is at least MIN_SPEEDUP (default
+SCALING_MIN_SPEEDUP) times faster than the jobs=1 batch. ci.sh runs
+this only when the host has >= 4 cores; a single-core host cannot
+express the speed-up and the stage is skipped with a notice instead.
 """
 
 import json
 import math
 import sys
 
-GATED_GROUPS = ("model_lookup", "congruence_scaling")
+GATED_GROUPS = ("model_lookup", "congruence_scaling", "throughput")
 THRESHOLD = 1.25
+SCALING_MIN_SPEEDUP = 1.5
 
 ENTRY_FIELDS = {"group", "id", "param", "iters", "total_ns", "mean_ns"}
 
@@ -123,12 +131,38 @@ def compare(baseline_path, current_paths):
     print("bench_gate: no regression beyond threshold")
 
 
+def scaling(path, min_speedup):
+    means = means_by_key(validate(path))
+    by_jobs = {
+        k[2]: v for k, v in means.items()
+        if k[0] == "throughput" and k[1] == "check_batch"
+    }
+    if "1" not in by_jobs or "4" not in by_jobs:
+        fail(f"{path}: no throughput/check_batch benches for jobs=1 and jobs=4")
+    for jobs in sorted(by_jobs, key=int):
+        speedup = by_jobs["1"] / by_jobs[jobs]
+        print(
+            f"bench_gate:   throughput/check_batch/{jobs} "
+            f"{by_jobs[jobs]:>12} ns/batch  ({speedup:5.2f}x vs jobs=1)"
+        )
+    speedup = by_jobs["1"] / by_jobs["4"]
+    if speedup < min_speedup:
+        fail(
+            f"jobs=4 speed-up {speedup:.2f}x is below the "
+            f"{min_speedup}x floor"
+        )
+    print(f"bench_gate: scaling ok: jobs=4 is {speedup:.2f}x jobs=1")
+
+
 def main():
     if len(sys.argv) >= 3 and sys.argv[1] == "validate":
         for path in sys.argv[2:]:
             validate(path)
     elif len(sys.argv) >= 4 and sys.argv[1] == "compare":
         compare(sys.argv[2], sys.argv[3:])
+    elif len(sys.argv) in (3, 4) and sys.argv[1] == "scaling":
+        floor = float(sys.argv[3]) if len(sys.argv) == 4 else SCALING_MIN_SPEEDUP
+        scaling(sys.argv[2], floor)
     else:
         print(__doc__, file=sys.stderr)
         sys.exit(2)
